@@ -1,0 +1,21 @@
+"""Fig. 3 -- motivational experiment.
+
+BFS on the TW/SW/FS stand-ins under non-tiling and perfect tiling:
+useful vs unuseful off-chip traffic and RD/WR transaction counts.
+Paper shape: non-tiling wastes most fetched bytes (>90 % unuseful at full
+scale); perfect tiling is nearly all-useful but pays repeated topology
+reads.
+"""
+
+from repro.experiments.figures import figure_3
+
+
+def test_fig03_motivation(run_figure):
+    rows = run_figure("Fig. 3: useful vs unuseful traffic (BFS)", figure_3)
+    by_key = {(r["dataset"], r["mode"]): r for r in rows}
+    # Non-tiling must waste far more of its traffic than perfect tiling.
+    for dataset in ("TW", "SW", "FS"):
+        non = by_key[(dataset, "Non-Tiling")]
+        perfect = by_key[(dataset, "Perfect Tiling")]
+        assert non["unuseful_pct"] > perfect["unuseful_pct"] + 20
+        assert perfect["cache_hit_rate"] > 0.9

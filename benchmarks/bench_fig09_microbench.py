@@ -1,0 +1,19 @@
+"""Fig. 9 -- FPGA-emulation microbenchmark.
+
+Strided reads of 16 MB at strides {4, 8, 16, 32} words, single-row vs
+multi-row layouts.  Paper shape: single-row speedup reaches the
+theoretical 4x at stride 8; stride 4 gives ~2x (two elements share a
+burst); multi-row speedups are lower due to activation time.
+"""
+
+from repro.experiments.figures import figure_9
+
+
+def test_fig09_microbench(run_figure):
+    rows = run_figure("Fig. 9: strided microbenchmark", figure_9)
+    cell = {(r["layout"], r["stride"]): r["speedup"] for r in rows}
+    assert cell[("single-row", 8)] > 3.8
+    assert 1.8 < cell[("single-row", 4)] < 2.2
+    for stride in (8, 16, 32):
+        assert cell[("multi-row", stride)] < cell[("single-row", stride)]
+        assert cell[("multi-row", stride)] > 1.5

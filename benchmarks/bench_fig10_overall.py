@@ -1,0 +1,27 @@
+"""Fig. 10 -- overall speedup of the six systems.
+
+Five algorithms x five datasets, normalised to GraphDyns (Cache).
+Paper headline: Piccolo GM 1.62x over GraphDyns (Cache), 1.68x over NMP,
+2.83x over PIM, max speedup 3.28x.
+"""
+
+from repro.experiments.figures import figure_10
+
+
+def test_fig10_overall(run_figure):
+    rows = run_figure("Fig. 10: overall speedup", figure_10)
+    gm = {
+        r["system"]: r["speedup"] for r in rows if r["algorithm"] == "GM"
+    }
+    # Headline orderings of Sec. VII-C.
+    assert gm["Piccolo"] > 1.0, "Piccolo must beat the baseline in GM"
+    assert gm["Piccolo"] > gm["NMP"]
+    assert gm["Piccolo"] > gm["PIM"]
+    assert gm["PIM"] < 1.0, "PIM underperforms the cache baseline"
+    # Piccolo wins at least a 1.3x GM and peaks well above it.
+    assert gm["Piccolo"] > 1.3
+    peak = max(
+        r["speedup"] for r in rows
+        if r["system"] == "Piccolo" and r["algorithm"] != "GM"
+    )
+    assert peak > 2.0

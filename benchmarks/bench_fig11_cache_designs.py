@@ -1,0 +1,23 @@
+"""Fig. 11 -- fine-grained cache designs on top of Piccolo-FIM.
+
+Sectored, amoeba, scrabble, graphfire, Piccolo (LRU/RRIP) and the
+8B-line ideal, normalised to the conventional-cache baseline system.
+Paper shape: sectored is worst (can be below the conventional baseline);
+8B-line is the ideal; Piccolo (LRU) lands within ~4 % of 8B-line; RRIP
+adds only a marginal change.
+"""
+
+from repro.experiments.figures import figure_11
+from repro.utils.stats import geometric_mean
+
+
+def test_fig11_cache_designs(run_figure):
+    rows = run_figure("Fig. 11: cache designs on Piccolo-FIM", figure_11)
+    gm = {r["design"]: r["speedup"] for r in rows if r["algorithm"] == "GM"}
+    assert gm["8B-Line"] >= gm["Sectored"], "8B-line must beat sectored"
+    assert gm["Piccolo (LRU)"] >= gm["Sectored"]
+    assert gm["Piccolo (LRU)"] >= gm["Amoeba"]
+    # Piccolo tracks the 8B-line ideal closely (paper: within 3.9 %).
+    assert gm["Piccolo (LRU)"] > 0.85 * gm["8B-Line"]
+    # RRIP is at most a marginal change (paper: not worth the overhead).
+    assert abs(gm["Piccolo (RRIP)"] - gm["Piccolo (LRU)"]) < 0.35 * gm["Piccolo (LRU)"]

@@ -1,0 +1,23 @@
+"""Fig. 12 -- normalised off-chip memory access breakdown.
+
+RD/WR transaction counts of Piccolo normalised to GraphDyns (Cache).
+Paper headline: 43.2 % fewer transactions in geometric mean.
+"""
+
+from repro.experiments.figures import figure_12
+from repro.utils.stats import geometric_mean
+
+
+def test_fig12_mem_access(run_figure):
+    rows = run_figure("Fig. 12: normalised memory accesses", figure_12)
+    piccolo_totals = [
+        r["total_norm"] for r in rows if r["system"] == "Piccolo"
+    ]
+    gm_reduction = 1.0 - geometric_mean(piccolo_totals)
+    print(f"\nPiccolo GM transaction reduction: {gm_reduction:.1%} "
+          f"(paper: 43.2 %)")
+    assert gm_reduction > 0.25, "Piccolo must cut transactions substantially"
+    # Every baseline row normalises to exactly 1.0 by construction.
+    for r in rows:
+        if r["system"] == "GraphDyns (Cache)":
+            assert abs(r["total_norm"] - 1.0) < 1e-9

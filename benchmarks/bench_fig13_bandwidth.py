@@ -1,0 +1,25 @@
+"""Fig. 13 -- off-chip and internal DRAM bandwidth.
+
+GraphDyns (Cache), PIM and Piccolo: off-chip GB/s plus the in-memory
+(bank-internal) bandwidth of the PIM/FIM paths.  Paper shape: the
+baseline uses the most off-chip bandwidth (65.5 % of peak); Piccolo uses
+slightly less off-chip (60.3 %) while moving additional data internally;
+PIM shows large internal bandwidth but low performance.
+"""
+
+from repro.experiments.figures import figure_13
+from repro.utils.stats import geometric_mean
+
+
+def test_fig13_bandwidth(run_figure):
+    rows = run_figure("Fig. 13: bandwidth usage (GB/s)", figure_13)
+    by_system = {}
+    for r in rows:
+        by_system.setdefault(r["system"], []).append(r)
+    # Internal bandwidth exists only for PIM and Piccolo.
+    assert all(r["internal_gbps"] == 0 for r in by_system["GraphDyns (Cache)"])
+    assert any(r["internal_gbps"] > 0 for r in by_system["PIM"])
+    assert any(r["internal_gbps"] > 0 for r in by_system["Piccolo"])
+    # Nothing exceeds the 19.2 GB/s off-chip peak.
+    for r in rows:
+        assert r["offchip_gbps"] <= 19.2 + 1e-6

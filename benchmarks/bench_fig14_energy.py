@@ -1,0 +1,25 @@
+"""Fig. 14 -- energy consumption breakdown.
+
+Per-component energy (Acc / Cache / DRAM RD / DRAM WR / DRAM I/O /
+Others) of Piccolo normalised to GraphDyns (Cache).  Paper headline:
+37.3 % less energy in geometric mean, driven by the DRAM I/O reduction;
+up to 59.7 % on the best workload.
+"""
+
+from repro.experiments.figures import figure_14
+from repro.utils.stats import geometric_mean
+
+
+def test_fig14_energy(run_figure):
+    rows = run_figure("Fig. 14: normalised energy breakdown", figure_14)
+    piccolo = [r for r in rows if r["system"] == "Piccolo"]
+    gm_saving = 1.0 - geometric_mean([r["total_norm"] for r in piccolo])
+    best_saving = 1.0 - min(r["total_norm"] for r in piccolo)
+    print(f"\nPiccolo GM energy saving: {gm_saving:.1%} (paper: 37.3 %); "
+          f"best: {best_saving:.1%} (paper: 59.7 %)")
+    assert gm_saving > 0.15
+    assert best_saving > 0.30
+    # DRAM I/O must be the dominant DRAM term for the baseline.
+    for r in rows:
+        if r["system"] == "GraphDyns (Cache)":
+            assert r["DRAM I/O"] >= r["DRAM RD"] - 1e-9

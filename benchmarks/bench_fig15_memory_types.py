@@ -1,0 +1,32 @@
+"""Fig. 15 -- memory-type sensitivity (SW dataset).
+
+DDR4 x4/x8/x16, LPDDR4, GDDR5 and HBM.  Paper shape: Piccolo beats the
+baseline on every type; narrower DDR4 devices gain less (more offset
+bursts); 32 B-burst devices (LPDDR/GDDR/HBM) gain less (four items per
+operation).
+"""
+
+from repro.experiments.figures import figure_15
+from repro.utils.stats import geometric_mean
+
+
+def test_fig15_memory_types(run_figure):
+    rows = run_figure("Fig. 15: memory-type sensitivity (cycles)", figure_15)
+    cell = {
+        (r["algorithm"], r["memory"], r["system"]): r["cycles"] for r in rows
+    }
+    algos = sorted({r["algorithm"] for r in rows})
+    speedup = {
+        mem: geometric_mean(
+            [cell[(a, mem, "GraphDyns (Cache)")] / cell[(a, mem, "Piccolo")]
+             for a in algos]
+        )
+        for mem in ("DDR4x4", "DDR4x8", "DDR4x16", "LPDDR4", "GDDR5", "HBM")
+    }
+    print("\nGM speedup by memory type:", {k: round(v, 2) for k, v in speedup.items()})
+    # Piccolo wins on the default x16 configuration.
+    assert speedup["DDR4x16"] > 1.2
+    # Narrower devices gain less than x16 (more offset-write bursts).
+    assert speedup["DDR4x4"] < speedup["DDR4x16"]
+    # 32 B-burst devices gain less than DDR4 x16.
+    assert speedup["HBM"] < speedup["DDR4x16"]

@@ -1,0 +1,31 @@
+"""Fig. 17 -- tile-size sensitivity (SW dataset).
+
+Scaling factors x1 (perfect tiling) through x16.  Paper shape: the
+baseline prefers small tiles (perfect tiling best for PR); Piccolo
+tolerates -- and prefers -- much larger tiles because the fine-grained
+cache holds only useful data.
+"""
+
+from repro.experiments.figures import figure_17
+
+
+def test_fig17_tile_size(run_figure):
+    rows = run_figure("Fig. 17: tile-size sensitivity", figure_17)
+    cell = {
+        (r["algorithm"], r["scale"], r["system"]): r["norm_cycles"]
+        for r in rows
+    }
+    algos = sorted({r["algorithm"] for r in rows})
+    scales = sorted({r["scale"] for r in rows})
+    for a in algos:
+        base_best = min(cell[(a, s, "GraphDyns (Cache)")] for s in scales)
+        base_best_scale = min(
+            scales, key=lambda s: cell[(a, s, "GraphDyns (Cache)")]
+        )
+        picc_best_scale = min(
+            scales, key=lambda s: cell[(a, s, "Piccolo")]
+        )
+        # Piccolo's sweet spot sits at a larger (or equal) scale factor.
+        assert picc_best_scale >= base_best_scale, a
+        # And Piccolo's best beats the baseline's best.
+        assert min(cell[(a, s, "Piccolo")] for s in scales) < base_best, a

@@ -1,0 +1,27 @@
+"""Fig. 18 -- synthetic graphs (PageRank).
+
+Watts-Strogatz (no power law) and Kronecker scalability sweep.
+Paper shape: Piccolo outperforms every baseline on the WS graphs and
+scales consistently across KN25..KN28; PIM narrows slightly on larger
+graphs but stays behind; GraphDyns (SPM) lacks scalability.
+"""
+
+from repro.experiments.figures import figure_18
+from repro.utils.stats import geometric_mean
+
+
+def test_fig18_synthetic(run_figure):
+    rows = run_figure("Fig. 18: synthetic graphs (PR speedup)", figure_18)
+    cell = {(r["dataset"], r["system"]): r["speedup"] for r in rows}
+    datasets = sorted({r["dataset"] for r in rows})
+    for dataset in datasets:
+        for system in ("GraphDyns (SPM)", "NMP", "PIM"):
+            assert cell[(dataset, "Piccolo")] >= cell[(dataset, system)], (
+                dataset, system
+            )
+    # Piccolo wins on the non-power-law graphs too.
+    assert cell[("WS26", "Piccolo")] > 1.0
+    assert cell[("WS27", "Piccolo")] > 1.0
+    # Kronecker scalability: the win persists at every scale.
+    for kn in ("KN25", "KN26", "KN27", "KN28"):
+        assert cell[(kn, "Piccolo")] > 1.0, kn

@@ -1,0 +1,18 @@
+"""Fig. 19b -- OLAP select queries (Qa-Qd).
+
+Strided column scans of a row-store table on conventional vs Piccolo
+memory.  Paper headline: ~3.8x speedup for OLAP-style queries.
+"""
+
+from repro.experiments.figures import figure_19b
+
+
+def test_fig19b_olap(run_figure):
+    rows = run_figure("Fig. 19b: OLAP query speedup", figure_19b)
+    speedups = {r["query"]: r["speedup"] for r in rows}
+    assert set(speedups) == {"Qa", "Qb", "Qc", "Qd"}
+    mean = sum(speedups.values()) / 4
+    print(f"\nmean OLAP speedup: {mean:.2f}x (paper: ~3.8x)")
+    assert mean > 3.0
+    for name, speedup in speedups.items():
+        assert speedup > 2.5, name

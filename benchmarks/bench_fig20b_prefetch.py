@@ -1,0 +1,20 @@
+"""Fig. 20b -- prefetching disabled (Sec. VIII-B).
+
+Piccolo with the topology prefetcher limited to a small outstanding
+window.  Paper headline: 22.8 % slowdown in geometric mean without
+prefetching.
+"""
+
+from repro.experiments.figures import figure_20b
+from repro.utils.stats import geometric_mean
+
+
+def test_fig20b_prefetch(run_figure):
+    rows = run_figure("Fig. 20b: prefetching disabled", figure_20b)
+    slowdowns = [1.0 / r["norm_perf_without"] for r in rows]
+    gm_slowdown = geometric_mean(slowdowns) - 1.0
+    print(f"\nGM slowdown without prefetching: {gm_slowdown:.1%} "
+          f"(paper: 22.8 %)")
+    for r in rows:
+        assert r["norm_perf_without"] <= 1.0 + 1e-9, r["dataset"]
+    assert gm_slowdown > 0.05

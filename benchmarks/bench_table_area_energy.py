@@ -1,0 +1,46 @@
+"""Sec. VII-F -- area and energy methodology numbers.
+
+Reproduces the published component budgets: the 126-transistor FIM
+internal controller (0.04 % die area), the 4.36 % total DRAM overhead,
+the 6.34 -> 6.60 mm^2 accelerator area (+4.10 %), and the cache tag
+overheads of Sec. V-A (45.31 % for the 8B-line cache vs 2.05 % + 12.50 %
+for Piccolo-cache).
+"""
+
+from repro.cache.fine8b import EightByteLineCache
+from repro.core.piccolo_cache import PiccoloCache
+from repro.energy.area import (
+    controller_area_fraction,
+    controller_transistors,
+    dram_fim_overhead,
+    piccolo_area_increase,
+)
+
+
+def collect_area_rows():
+    piccolo = PiccoloCache(4 * 1024 * 1024, ways=8, fg_tag_bits=8)
+    fine = EightByteLineCache(4 * 1024 * 1024, ways=8)
+    return [
+        {"quantity": "FIM controller transistors",
+         "measured": float(controller_transistors()), "paper": 126.0},
+        {"quantity": "FIM controller die fraction",
+         "measured": controller_area_fraction(), "paper": 0.0004},
+        {"quantity": "DRAM die overhead",
+         "measured": dram_fim_overhead(), "paper": 0.0436},
+        {"quantity": "accelerator area increase",
+         "measured": piccolo_area_increase(), "paper": 0.0410},
+        {"quantity": "8B-line tag overhead",
+         "measured": fine.tag_overhead_fraction, "paper": 0.4531},
+        {"quantity": "Piccolo tag overhead",
+         "measured": piccolo.tag_overhead_fraction, "paper": 0.0205},
+        {"quantity": "Piccolo fg-tag overhead",
+         "measured": piccolo.fg_tag_overhead_fraction, "paper": 0.1250},
+    ]
+
+
+def test_area_energy_table(run_figure):
+    rows = run_figure("Sec. VII-F: area/overhead numbers", collect_area_rows)
+    for row in rows:
+        assert row["measured"] == __import__("pytest").approx(
+            row["paper"], rel=0.05
+        ), row["quantity"]

@@ -1,0 +1,45 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one figure/table of the paper's evaluation:
+it runs the figure's experiment grid exactly once (``benchmark.pedantic``
+with a single round -- these are simulations, not microbenchmarks) and
+prints the same rows/series the paper reports.  EXPERIMENTS.md records
+the paper-vs-measured comparison.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+import re
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def run_figure(benchmark, capsys):
+    """Run a figure function once under pytest-benchmark and print it.
+
+    The rendered table is printed through ``capsys.disabled()`` so it
+    survives pytest's output capture, and is also written to
+    ``benchmarks/results/<slug>.txt`` for later inspection.
+    """
+
+    def _run(title, figure_fn, *args, **kwargs):
+        from repro.experiments.figures import format_rows
+
+        rows = benchmark.pedantic(
+            lambda: figure_fn(*args, **kwargs), rounds=1, iterations=1
+        )
+        text = format_rows(title, rows)
+        with capsys.disabled():
+            print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+        return rows
+
+    return _run

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Plugging a new algorithm into the public API.
+
+The paper evaluates five workloads, but the vertex-centric model of
+Algorithm 1 is a general interface: any computation expressed as
+``process`` (per edge), a commutative ``reduce`` monoid, and ``apply``
+(per vertex) runs on every simulated system unchanged.
+
+This example adds *single-source reachability-with-hop-budget* (a
+bounded BFS variant none of the built-ins provide): a vertex's
+property is the largest remaining hop budget with which it can be
+reached; vertices reached with budget zero stop propagating.  The
+custom spec then runs on both the baseline and Piccolo to show the
+full toolchain -- functional results plus timing -- working on
+user-defined operators.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import numpy as np
+
+from repro.accel.systems import make_system
+from repro.algorithms.vcm import AlgorithmSpec, VertexCentricEngine
+from repro.graph.datasets import load_dataset
+
+
+def hop_budget_spec(graph, source: int = 0, budget: int = 4) -> AlgorithmSpec:
+    """Reachability within ``budget`` hops of ``source``.
+
+    ``Vprop[v]`` = the best remaining budget when reaching ``v``
+    (-inf when unreached).  Each traversed edge spends one hop;
+    ``reduce``/``apply`` keep the maximum remaining budget, and only
+    vertices with budget left keep propagating (their property changes
+    activate them, and process contributes -inf once exhausted).
+    """
+    n = graph.num_vertices
+
+    def process(weights, src_prop, src_ids):
+        remaining = src_prop - 1.0
+        return np.where(remaining >= 0.0, remaining, -np.inf)
+
+    def apply(prop_old, vtemp, vertex_ids):
+        return np.maximum(prop_old, vtemp)
+
+    init = np.full(n, -np.inf)
+    init[source] = float(budget)
+    return AlgorithmSpec(
+        name=f"HOP{budget}",
+        graph=graph,
+        process=process,
+        reduce_name="max",
+        apply=apply,
+        init_prop=init,
+        init_active=np.asarray([source], dtype=np.int64),
+    )
+
+
+def main() -> None:
+    graph = load_dataset("SW")
+    spec = hop_budget_spec(graph, source=0, budget=4)
+
+    # Functional check: the engine computes the exact fixpoint.
+    engine = VertexCentricEngine(spec, tile_width=graph.num_vertices)
+    for _ in engine.run_iter(max_iterations=16):
+        pass
+    reached = np.flatnonzero(engine.prop > -np.inf)
+    print(f"{graph.name}: {reached.size} vertices within 4 hops of v0 "
+          f"(of {graph.num_vertices})")
+
+    # The same spec drives the timing models through the registry-free
+    # path: systems accept a prebuilt spec via the algorithm name used
+    # by make_algorithm, so here we reuse the run() plumbing manually.
+    for system_name in ("GraphDyns (Cache)", "Piccolo"):
+        system = make_system(system_name)
+        result = system.run(graph, "BFS", max_iterations=16)
+        print(f"{system_name:>18}: BFS reference run "
+              f"{result.total_ns / 1e3:9.1f} us, "
+              f"{result.dram.read_bursts + result.dram.write_bursts:8d} "
+              f"bursts")
+
+    # Hop-budget reachability through the timing path, by temporary
+    # registration (the documented extension point).
+    from repro import algorithms
+
+    algorithms.ALGORITHMS["HOP4"] = (
+        lambda g, **kw: hop_budget_spec(g, source=0, budget=4)
+    )
+    try:
+        for system_name in ("GraphDyns (Cache)", "Piccolo"):
+            system = make_system(system_name)
+            result = system.run(graph, "HOP4", max_iterations=16)
+            print(f"{system_name:>18}: HOP4 "
+                  f"{result.total_ns / 1e3:9.1f} us, "
+                  f"{result.iterations} iterations")
+    finally:
+        del algorithms.ALGORITHMS["HOP4"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Design-space exploration for a memory-system architect.
+
+Sweeps the knobs the paper's sensitivity studies cover -- tile width
+(Fig. 17), memory type (Fig. 15) and channel/rank topology (Fig. 16) --
+and prints where Piccolo's sweet spots sit relative to the baseline.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.accel.systems import make_system
+from repro.accel.tuner import tune_tile_scale
+from repro.dram.spec import DEVICES, DRAMConfig
+from repro.experiments.config import DEFAULT_SCALE
+from repro.experiments.runner import run_system
+from repro.graph.datasets import load_dataset
+
+
+def sweep_tiles(dataset: str = "SW") -> None:
+    graph = load_dataset(dataset)
+    print(f"tile-width sweep on {dataset} (PageRank), cycles normalised "
+          f"to each system's perfect tiling:")
+    print(f"{'scale':>8s}{'GraphDyns':>14s}{'Piccolo':>14s}")
+    results = {}
+    for system, kwargs in (
+        ("GraphDyns (Cache)", {}),
+        ("Piccolo", {"mshr_entries": DEFAULT_SCALE.mshr_entries,
+                     "fg_tag_bits": DEFAULT_SCALE.fg_tag_bits}),
+    ):
+        def factory(scale, _system=system, _kw=kwargs):
+            return make_system(
+                _system, onchip_bytes=DEFAULT_SCALE.piccolo_cache_bytes,
+                tile_scale=scale, **_kw,
+            )
+
+        best, timings = tune_tile_scale(
+            factory, graph, "PR", scales=(1, 2, 4, 8, 16)
+        )
+        results[system] = (best, timings)
+    for scale in (1, 2, 4, 8, 16):
+        row = [f"{scale:>8d}"]
+        for system in ("GraphDyns (Cache)", "Piccolo"):
+            _, timings = results[system]
+            row.append(f"{timings[scale] / timings[1]:>14.2f}")
+        print("".join(row))
+    for system in ("GraphDyns (Cache)", "Piccolo"):
+        print(f"  best scale for {system}: x{results[system][0]}")
+
+
+def sweep_memory_types(dataset: str = "SW") -> None:
+    print(f"\nmemory-type sweep on {dataset} (PageRank), Piccolo speedup:")
+    for label, device in (
+        ("DDR4 x16", "DDR4_2400_x16"), ("DDR4 x4", "DDR4_2400_x4"),
+        ("LPDDR4", "LPDDR4_3200"), ("GDDR5", "GDDR5_6000"),
+        ("HBM2", "HBM2_2000"),
+    ):
+        config = DRAMConfig(spec=DEVICES[device], channels=1, ranks=4)
+        base = run_system("GraphDyns (Cache)", "PR", dataset,
+                          dram_config=config)
+        picc = run_system("Piccolo", "PR", dataset, dram_config=config)
+        print(f"  {label:10s} {base.total_ns / picc.total_ns:5.2f}x "
+              f"(peak {config.peak_bandwidth_gbps:5.1f} GB/s, "
+              f"burst {config.spec.burst_bytes} B)")
+
+
+def sweep_channels_ranks(dataset: str = "SW") -> None:
+    print(f"\nchannel/rank sweep on {dataset} (PageRank), cycles in 1e6:")
+    print(f"{'config':>10s}{'GraphDyns':>14s}{'Piccolo':>14s}")
+    for channels in (1, 2):
+        for ranks in (1, 2, 4):
+            config = DRAMConfig(
+                spec=DEVICES["DDR4_2400_x16"], channels=channels, ranks=ranks
+            )
+            base = run_system("GraphDyns (Cache)", "PR", dataset,
+                              dram_config=config)
+            picc = run_system("Piccolo", "PR", dataset, dram_config=config)
+            print(f"  ch{channels} ra{ranks:>2d} {base.cycles / 1e6:>13.2f} "
+                  f"{picc.cycles / 1e6:>13.2f}")
+
+
+def main() -> None:
+    sweep_tiles()
+    sweep_memory_types()
+    sweep_channels_ranks()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Walkthrough of the Piccolo-FIM mechanics (Sec. IV and VI).
+
+Stages data into a functional DRAM bank, then performs a gather and a
+scatter using *only standard DDR4 commands* via the virtual-row
+translation, validating every command against the JEDEC timing checker --
+the offline equivalent of the paper's FPGA emulation.
+
+Run:  python examples/fim_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.core.fim import FimBank
+from repro.core.fim_commands import (
+    DDRCommand,
+    VirtualRowController,
+    VirtualRowMap,
+    gather_sequence,
+    scatter_sequence,
+)
+from repro.dram.spec import DEVICES
+from repro.validate.protocol import DDR4ProtocolChecker
+
+
+def main() -> None:
+    spec = DEVICES["DDR4_2400_x16"]
+    print(f"device: {spec.name}, row = {spec.row_bytes} B "
+          f"({spec.row_words} words)")
+    print(f"window check: 8 x tCCD_L = {8 * spec.tCCD:.2f} ns vs "
+          f"tWR + tRP + tRCD = {spec.fim_internal_window:.2f} ns -> "
+          f"{'fits' if spec.fim_window_ok() else 'DOES NOT FIT'}")
+
+    # A bank whose row 2 holds the squares of the word index.
+    bank = FimBank(spec, rows=4)
+    bank.cells[2] = (np.arange(spec.row_words, dtype=np.uint64) ** 2)
+    vmap = VirtualRowMap(physical_rows=4)
+    controller = VirtualRowController(bank, vmap)
+    checker = DDR4ProtocolChecker(spec, strict_ras=False)
+
+    # Open the target row (plus the virtual row, from the host's view).
+    for cmd in (DDRCommand(-200.0, "ACT", 0, row=2),):
+        controller.handle(cmd)
+    checker.check(DDRCommand(-200.0, "ACT", 0, row=vmap.row_y))
+
+    offsets = [3, 17, 255, 1000, 512, 64, 9, 30]
+    print(f"\ngather offsets {offsets} from row 2:")
+    cmds = gather_sequence(spec, vmap, 0, offsets, start_ns=0.0)
+    data = None
+    for cmd in cmds:
+        checker.check(cmd)  # must be standard + timing-legal
+        out = controller.handle(cmd)
+        payload = "" if cmd.data is None else f" data={cmd.data}"
+        print(f"  t={cmd.time_ns:7.2f} ns  {cmd.kind:3s} "
+              f"bank {cmd.bank} row {cmd.row}{payload}")
+        if out is not None:
+            data = out
+    print(f"  -> gathered {data}")
+    assert data == [o * o for o in offsets], "gather must be bit-exact"
+
+    print("\nscatter {7, 8, 9} to offsets {40, 41, 42}:")
+    # The gather left virtual row z "open" from the controller's view, so
+    # the scatter stages its buffers through row z (Sec. VI: the two
+    # virtual rows are interchangeable).
+    cmds = scatter_sequence(
+        spec, vmap, 0, [40, 41, 42], [7, 8, 9], start_ns=500.0,
+        use_row_y=False,
+    )
+    for cmd in cmds:
+        checker.check(cmd)
+        controller.handle(cmd)
+        print(f"  t={cmd.time_ns:7.2f} ns  {cmd.kind:3s}")
+    assert [bank.read_word(o) for o in (40, 41, 42)] == [7, 8, 9]
+    print(f"\nall {checker.commands_checked} commands were standard DDR4 "
+          f"and timing-legal; data movement was bit-exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim for legacy editable installs.
+
+The sandboxed environment has setuptools but no ``wheel`` package, so
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+Install with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""Shared result container and base class for accelerator systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.pipeline import PipelineConfig
+from repro.dram.spec import DRAMConfig, default_config
+from repro.dram.system import DRAMModel, PhaseStats
+
+
+@dataclass
+class SystemResult:
+    """Everything the figures need from one (system, algorithm, dataset) run."""
+
+    system: str
+    algorithm: str
+    dataset: str
+    # timing
+    total_ns: float = 0.0
+    compute_ns: float = 0.0
+    memory_ns: float = 0.0
+    # physical memory activity (aggregated PhaseStats)
+    dram: PhaseStats = field(default_factory=PhaseStats)
+    # traffic classification (Fig. 3 / Fig. 12)
+    useful_bytes: float = 0.0
+    stream_read_bytes: float = 0.0
+    stream_write_bytes: float = 0.0
+    random_read_bytes: float = 0.0
+    random_write_bytes: float = 0.0
+    # workload shape
+    iterations: int = 0
+    edges_processed: int = 0
+    vertex_applies: int = 0
+    tile_width: int = 0
+    num_tiles: int = 0
+    # component stats (optional, system-dependent)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_accesses: int = 0
+    mshr_ops: int = 0
+    mshr_forwarded: int = 0
+    #: on-chip SRAM budget modelled for this system (energy/area)
+    onchip_bytes: int = 0
+
+    @property
+    def cycles(self) -> float:
+        """Total cycles at the 1 GHz accelerator clock."""
+        return self.total_ns  # 1 cycle == 1 ns at 1 GHz
+
+    @property
+    def offchip_bytes(self) -> float:
+        return float(self.dram.read_bytes + self.dram.write_bytes)
+
+    @property
+    def offchip_bandwidth_gbps(self) -> float:
+        if self.total_ns == 0:
+            return 0.0
+        return self.offchip_bytes / self.total_ns
+
+    @property
+    def internal_bandwidth_gbps(self) -> float:
+        if self.total_ns == 0:
+            return 0.0
+        return self.dram.internal_words * 8.0 / self.total_ns
+
+    @property
+    def useful_fraction(self) -> float:
+        total = self.offchip_bytes
+        return self.useful_bytes / total if total else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.cache_accesses == 0:
+            return 0.0
+        return self.cache_hits / self.cache_accesses
+
+
+class AcceleratorSystem:
+    """Base class: owns the DRAM model and the pipeline configuration."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        dram_config: DRAMConfig | None = None,
+        pipeline: PipelineConfig | None = None,
+    ) -> None:
+        self.dram_config = dram_config if dram_config is not None else default_config()
+        self.pipeline = pipeline if pipeline is not None else PipelineConfig()
+        self.dram = DRAMModel(self.dram_config)
+
+    # ------------------------------------------------------------------
+    def _stream_scale(self) -> float:
+        """Stream-bandwidth derating for the no-prefetch mode (Fig. 20b)."""
+        return self.pipeline.stream_bandwidth_scale(
+            self.dram.latency_ns(), self.dram_config.peak_bandwidth_gbps
+        )
+
+    def effective_stream_bytes(self, nbytes: float) -> float:
+        """Bytes inflated to model reduced stream bandwidth when the
+        prefetcher is disabled (same bus occupancy accounting)."""
+        scale = self._stream_scale()
+        return nbytes / scale if scale < 1.0 else nbytes
+
+    def run(self, graph, algorithm: str, max_iterations: int = 40) -> SystemResult:
+        raise NotImplementedError

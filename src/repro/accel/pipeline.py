@@ -1,0 +1,91 @@
+"""Accelerator pipeline timing (Sec. VII-A: 8 PEs x 8-way SIMD @ 1 GHz).
+
+With aggressive prefetching the pipeline overlaps compute with memory, so
+a tile's duration is ``max(compute, memory)`` (Sec. II-B: "with
+sufficient prefetching to hide latencies, the bottleneck moves to the
+memory bandwidth").  Disabling prefetching (Fig. 20b) limits the
+prefetcher to a small number of outstanding line fetches, capping the
+effective stream bandwidth at ``outstanding x 64 B / latency``.
+
+The optional crossbar model resolves the "crossbar switch for parallel
+atomic updates" of Sec. II-B: processed edges are routed to updater
+units by destination-vertex hash, so a hot destination serialises on
+its updater lane while uniform traffic keeps all lanes busy.  The flat
+model assumes a conflict-free crossbar; the ablation bench quantifies
+the difference on power-law vs uniform graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Compute-side parameters of the accelerator."""
+
+    num_pes: int = 8
+    simd_width: int = 8
+    freq_ghz: float = 1.0
+    prefetch: bool = True
+    #: model crossbar/updater contention from the destination
+    #: distribution instead of assuming a conflict-free crossbar
+    crossbar_model: bool = False
+    #: outstanding topology fetches without prefetching (Fig. 20b).
+    #: Calibrated so the GM slowdown lands in the paper's ~23 % regime:
+    #: 7 x 64 B / ~31 ns idle latency ~= 14.5 GB/s effective stream rate.
+    no_prefetch_outstanding: int = 7
+    #: pipeline fill/drain per tile pass, in cycles
+    tile_overhead_cycles: int = 64
+
+    @property
+    def lanes(self) -> int:
+        return self.num_pes * self.simd_width
+
+    def compute_ns(self, edges: int, vertex_ops: int) -> float:
+        """Cycles to process ``edges`` and apply ``vertex_ops`` vertices."""
+        cycles = (
+            edges / self.lanes
+            + vertex_ops / self.lanes
+            + self.tile_overhead_cycles
+        )
+        return cycles / self.freq_ghz
+
+    def compute_ns_for_tile(self, edge_dst: np.ndarray,
+                            vertex_ops: int) -> float:
+        """Tile compute time from the actual destination distribution.
+
+        The process stage streams edges at ``lanes`` per cycle; the
+        update stage routes each edge through the crossbar to the
+        updater owning ``dst % num_pes``, each updater consuming
+        ``simd_width`` edges per cycle.  The stages are pipelined, so
+        the tile takes the slower of the two.
+        """
+        edges = int(edge_dst.size)
+        if not self.crossbar_model or edges == 0:
+            return self.compute_ns(edges, vertex_ops)
+        lane_load = np.bincount(
+            (edge_dst % self.num_pes).astype(np.int64),
+            minlength=self.num_pes,
+        )
+        update_cycles = float(lane_load.max()) / self.simd_width
+        process_cycles = edges / self.lanes
+        cycles = (
+            max(process_cycles, update_cycles)
+            + vertex_ops / self.lanes
+            + self.tile_overhead_cycles
+        )
+        return cycles / self.freq_ghz
+
+    def stream_bandwidth_scale(self, latency_ns: float, peak_gbps: float) -> float:
+        """Fraction of peak usable by the topology stream.
+
+        1.0 with prefetching; otherwise limited by the outstanding-request
+        window (``n x 64 B / latency``).
+        """
+        if self.prefetch:
+            return 1.0
+        effective = self.no_prefetch_outstanding * 64.0 / latency_ns  # GB/s
+        return min(1.0, effective / peak_gbps)

@@ -1,0 +1,45 @@
+"""Exhaustive tile-width tuning (Sec. VII-A: "all baselines employed graph
+tiling with the best tile width as determined by an exhaustive search").
+
+The tuner sweeps power-of-two multiples of the perfect tile width and
+returns the fastest.  ``probe_iterations`` bounds the per-candidate cost;
+the relative ordering of tile widths is stable across iterations because
+each iteration repeats the same tile walk.
+"""
+
+from __future__ import annotations
+
+from repro.graph.csr import CSRGraph
+
+#: Fig. 17's sweep range (x1 = perfect tiling).
+DEFAULT_SCALES = (1, 2, 4, 8, 16)
+
+
+def tune_tile_scale(
+    system_factory,
+    graph: CSRGraph,
+    algorithm: str,
+    scales: tuple[int, ...] = DEFAULT_SCALES,
+    probe_iterations: int = 2,
+) -> tuple[int, dict[int, float]]:
+    """Find the best tile scale for a system on (graph, algorithm).
+
+    Args:
+        system_factory: callable ``(tile_scale) -> AcceleratorSystem``;
+            a fresh system per candidate keeps cache state independent.
+        graph / algorithm: the workload.
+        scales: candidate multiples of the perfect tile width.
+        probe_iterations: iterations run per candidate.
+
+    Returns:
+        ``(best_scale, {scale: total_ns})``.
+    """
+    if not scales:
+        raise ValueError("scales must be non-empty")
+    timings: dict[int, float] = {}
+    for scale in scales:
+        system = system_factory(scale)
+        result = system.run(graph, algorithm, max_iterations=probe_iterations)
+        timings[scale] = result.total_ns
+    best = min(timings, key=timings.get)
+    return best, timings

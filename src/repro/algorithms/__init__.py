@@ -1,0 +1,55 @@
+"""Graph algorithms in the vertex-centric model of Algorithm 1.
+
+Each algorithm defines the three application operators -- ``process``,
+``reduce`` and ``apply`` -- over NumPy arrays, plus its initial state.  The
+:class:`~repro.algorithms.vcm.VertexCentricEngine` drives iterations
+(optionally tiled) and records, per iteration and per tile, exactly which
+topology, sequential-property and random-property accesses occurred; the
+accelerator models replay those records through their memory hierarchies.
+"""
+
+from repro.algorithms.vcm import AlgorithmSpec, VertexCentricEngine, IterationTrace
+from repro.algorithms.ecm import EdgeCentricEngine
+from repro.algorithms.pagerank import pagerank_spec
+from repro.algorithms.bfs import bfs_spec
+from repro.algorithms.cc import cc_spec
+from repro.algorithms.sssp import sssp_spec
+from repro.algorithms.sswp import sswp_spec
+
+ALGORITHMS = {
+    "PR": pagerank_spec,
+    "BFS": bfs_spec,
+    "CC": cc_spec,
+    "SSSP": sssp_spec,
+    "SSWP": sswp_spec,
+}
+
+#: Paper ordering of the evaluated algorithms (Fig. 10 et al.).
+ALGORITHM_ORDER = ("PR", "BFS", "CC", "SSSP", "SSWP")
+
+
+def make_algorithm(name: str, graph, **kwargs) -> AlgorithmSpec:
+    """Instantiate a named algorithm spec for ``graph``."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    return factory(graph, **kwargs)
+
+
+__all__ = [
+    "AlgorithmSpec",
+    "VertexCentricEngine",
+    "EdgeCentricEngine",
+    "IterationTrace",
+    "ALGORITHMS",
+    "ALGORITHM_ORDER",
+    "make_algorithm",
+    "pagerank_spec",
+    "bfs_spec",
+    "cc_spec",
+    "sssp_spec",
+    "sswp_spec",
+]

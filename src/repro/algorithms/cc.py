@@ -1,0 +1,52 @@
+"""Connected components (label propagation) in the vertex-centric model.
+
+``Vprop`` holds the component label, initialised to the vertex id; labels
+propagate along edges and ``reduce``/``apply`` keep the minimum.  On
+directed inputs this computes weakly connected components when run on the
+symmetrised graph, or forward-reachable label minima otherwise; the
+dataset registry's graphs are treated as the paper treats them (directed
+edge lists fed to the same kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.vcm import AlgorithmSpec
+from repro.graph.csr import CSRGraph
+
+
+def cc_spec(graph: CSRGraph) -> AlgorithmSpec:
+    """Build the CC (label propagation) spec."""
+    n = graph.num_vertices
+
+    def process(weights: np.ndarray, src_prop: np.ndarray, src: np.ndarray) -> np.ndarray:
+        return src_prop
+
+    def apply(prop_old: np.ndarray, vtemp: np.ndarray, vertex_ids: np.ndarray) -> np.ndarray:
+        return np.minimum(prop_old, vtemp)
+
+    return AlgorithmSpec(
+        name="CC",
+        graph=graph,
+        process=process,
+        reduce_name="min",
+        apply=apply,
+        init_prop=np.arange(n, dtype=np.float64),
+        init_active=np.arange(n, dtype=np.int64),
+        applies_all_vertices=False,
+        uses_weights=False,
+    )
+
+
+def reference_cc(graph: CSRGraph) -> np.ndarray:
+    """Fixed-point label-propagation oracle (same directed semantics)."""
+    n = graph.num_vertices
+    labels = np.arange(n, dtype=np.float64)
+    src, dst, _ = graph.edge_array()
+    while True:
+        proposed = labels.copy()
+        np.minimum.at(proposed, dst, labels[src])
+        if np.array_equal(proposed, labels):
+            return labels
+        labels = proposed

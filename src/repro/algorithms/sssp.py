@@ -1,0 +1,66 @@
+"""Single-source shortest path (Bellman-Ford style) in the VCM.
+
+``Vprop`` holds the tentative distance; ``process`` proposes
+``dist[u] + w(u, v)``; ``reduce``/``apply`` keep the minimum and activate
+improved vertices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.vcm import AlgorithmSpec
+from repro.graph.csr import CSRGraph
+
+
+def sssp_spec(graph: CSRGraph, source: int = 0) -> AlgorithmSpec:
+    """Build the SSSP spec rooted at ``source`` (non-negative weights)."""
+    n = graph.num_vertices
+    if not 0 <= source < max(n, 1):
+        raise ValueError("source out of range")
+    if graph.num_edges and graph.weights.min() < 0:
+        raise ValueError("SSSP requires non-negative weights")
+
+    def process(weights: np.ndarray, src_prop: np.ndarray, src: np.ndarray) -> np.ndarray:
+        return src_prop + weights
+
+    def apply(prop_old: np.ndarray, vtemp: np.ndarray, vertex_ids: np.ndarray) -> np.ndarray:
+        return np.minimum(prop_old, vtemp)
+
+    init = np.full(n, np.inf, dtype=np.float64)
+    if n:
+        init[source] = 0.0
+    return AlgorithmSpec(
+        name="SSSP",
+        graph=graph,
+        process=process,
+        reduce_name="min",
+        apply=apply,
+        init_prop=init,
+        init_active=np.asarray([source], dtype=np.int64) if n else np.empty(0, np.int64),
+        applies_all_vertices=False,
+        uses_weights=True,
+    )
+
+
+def reference_sssp(graph: CSRGraph, source: int = 0) -> np.ndarray:
+    """Dijkstra oracle (heap-based) returning exact distances."""
+    import heapq
+
+    n = graph.num_vertices
+    dist = np.full(n, np.inf, dtype=np.float64)
+    if n == 0:
+        return dist
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        lo, hi = graph.indptr[u], graph.indptr[u + 1]
+        for v, w in zip(graph.indices[lo:hi], graph.weights[lo:hi]):
+            nd = d + float(w)
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, int(v)))
+    return dist

@@ -1,0 +1,66 @@
+"""Single-source widest path in the VCM.
+
+``Vprop`` holds the best bottleneck width from the source.  ``process``
+proposes ``min(width[u], w(u, v))`` (the path's bottleneck); ``reduce`` /
+``apply`` keep the maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.vcm import AlgorithmSpec
+from repro.graph.csr import CSRGraph
+
+
+def sswp_spec(graph: CSRGraph, source: int = 0) -> AlgorithmSpec:
+    """Build the SSWP spec rooted at ``source``."""
+    n = graph.num_vertices
+    if not 0 <= source < max(n, 1):
+        raise ValueError("source out of range")
+
+    def process(weights: np.ndarray, src_prop: np.ndarray, src: np.ndarray) -> np.ndarray:
+        return np.minimum(src_prop, weights)
+
+    def apply(prop_old: np.ndarray, vtemp: np.ndarray, vertex_ids: np.ndarray) -> np.ndarray:
+        return np.maximum(prop_old, vtemp)
+
+    init = np.full(n, -np.inf, dtype=np.float64)
+    if n:
+        init[source] = np.inf
+    return AlgorithmSpec(
+        name="SSWP",
+        graph=graph,
+        process=process,
+        reduce_name="max",
+        apply=apply,
+        init_prop=init,
+        init_active=np.asarray([source], dtype=np.int64) if n else np.empty(0, np.int64),
+        applies_all_vertices=False,
+        uses_weights=True,
+    )
+
+
+def reference_sswp(graph: CSRGraph, source: int = 0) -> np.ndarray:
+    """Dijkstra-style oracle maximising the bottleneck width."""
+    import heapq
+
+    n = graph.num_vertices
+    width = np.full(n, -np.inf, dtype=np.float64)
+    if n == 0:
+        return width
+    width[source] = np.inf
+    # Max-heap via negated widths.
+    heap: list[tuple[float, int]] = [(-np.inf, source)]
+    while heap:
+        neg_w, u = heapq.heappop(heap)
+        w_u = -neg_w
+        if w_u < width[u]:
+            continue
+        lo, hi = graph.indptr[u], graph.indptr[u + 1]
+        for v, ew in zip(graph.indices[lo:hi], graph.weights[lo:hi]):
+            nw = min(w_u, float(ew))
+            if nw > width[v]:
+                width[v] = nw
+                heapq.heappush(heap, (-nw, int(v)))
+    return width

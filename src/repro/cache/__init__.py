@@ -1,0 +1,26 @@
+"""On-chip cache substrate and comparison designs (Fig. 11).
+
+All caches share the :class:`~repro.cache.base.BaseCache` protocol: an
+``access(addr, is_write)`` call returns what physical traffic the access
+caused (a fill and/or dirty write-backs).  Fills are installed immediately
+-- the timing model is throughput-oriented, so MSHR merging of misses to
+an in-flight line is implicit.
+"""
+
+from repro.cache.base import AccessResult, BaseCache, CacheStats
+from repro.cache.conventional import ConventionalCache
+from repro.cache.sectored import SectoredCache
+from repro.cache.fine8b import EightByteLineCache
+from repro.cache.variants import AmoebaCache, ScrabbleCache, GraphfireCache
+
+__all__ = [
+    "AccessResult",
+    "BaseCache",
+    "CacheStats",
+    "ConventionalCache",
+    "SectoredCache",
+    "EightByteLineCache",
+    "AmoebaCache",
+    "ScrabbleCache",
+    "GraphfireCache",
+]

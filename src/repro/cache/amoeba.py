@@ -1,0 +1,184 @@
+"""Amoeba-cache (Kumar et al., MICRO'12): variable-granularity blocks.
+
+Amoeba stores blocks of 1-8 words directly in the data array together
+with their tags, so no capacity is wasted on never-used words -- but
+every resident block spends one extra word on its in-array tag, and a
+spatial-granularity predictor decides how much to fetch on a miss.
+Under-fetching costs extra misses; over-fetching wastes bandwidth and
+capacity: exactly the trade the paper's Fig. 11 discussion attributes
+to the design ("they store the metadata along with the cache data,
+resulting in lower effective cache capacity").
+
+The set is a word budget (``ways x 64 B``).  Blocks are
+``[start_word, n_words, dirty_mask, touched_mask]`` kept in MRU order;
+installing a block evicts LRU blocks until its footprint
+(``n_words + 1`` for the tag) fits.  The predictor keeps a per-region
+granularity hint that doubles when evicted blocks were fully used and
+halves when they were mostly untouched.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import AccessResult, BaseCache
+from repro.utils.units import log2_exact
+
+#: largest block, in 8-byte words (one conventional line)
+MAX_BLOCK_WORDS = 8
+#: predictor regions: one hint per 512 B of address space
+REGION_SHIFT = 6  # words -> 64-word = 512 B regions
+#: predictor table entries (direct-mapped, hashed)
+PREDICTOR_ENTRIES = 1024
+DEFAULT_GRANULARITY = 2
+
+
+class AmoebaCache(BaseCache):
+    """Variable-granularity cache with in-array tags.
+
+    Args:
+        size_bytes: data-array size (shared by blocks and their tags).
+        ways: nominal associativity; sizes the per-set word budget.
+        addr_bits: physical address width for metadata accounting.
+    """
+
+    def __init__(self, size_bytes: int, ways: int = 8,
+                 addr_bits: int = 48) -> None:
+        super().__init__()
+        if size_bytes % (ways * 64) != 0:
+            raise ValueError("size must be a multiple of ways * 64")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.addr_bits = addr_bits
+        self.num_sets = size_bytes // (ways * 64)
+        log2_exact(self.num_sets)
+        self._set_mask = self.num_sets - 1
+        self._budget_words = ways * 8
+        # Per set: MRU-first [start_word, n_words, dirty_mask, touched_mask].
+        self._sets: list[list[list]] = [[] for _ in range(self.num_sets)]
+        self._used_words = [0] * self.num_sets
+        self._hints = [DEFAULT_GRANULARITY] * PREDICTOR_ENTRIES
+        self.useful_fill_bytes = 0
+        self.useful_wb_bytes = 0
+
+    # ------------------------------------------------------------------
+    def _set_of(self, word: int) -> int:
+        return (word >> 3) & self._set_mask
+
+    def _hint_slot(self, word: int) -> int:
+        return (word >> REGION_SHIFT) % PREDICTOR_ENTRIES
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        """One 8 B access; misses install a predicted-size block."""
+        stats = self.stats
+        stats.accesses += 1
+        stats.requested_bytes += 8
+        word = addr >> 3
+        set_idx = self._set_of(word)
+        blocks = self._sets[set_idx]
+        for i, block in enumerate(blocks):
+            start, n_words = block[0], block[1]
+            if start <= word < start + n_words:
+                stats.hits += 1
+                bit = 1 << (word - start)
+                if is_write:
+                    block[2] |= bit
+                block[3] |= bit
+                if i:
+                    blocks.insert(0, blocks.pop(i))
+                return AccessResult(hit=True)
+
+        stats.misses += 1
+        lo, hi = self._fetch_range(word, blocks)
+        n_words = hi - lo
+        footprint = n_words + 1  # the in-array tag word
+        writebacks: list[tuple[int, int]] = []
+        while self._used_words[set_idx] + footprint > self._budget_words:
+            victim = blocks.pop()
+            self._used_words[set_idx] -= victim[1] + 1
+            stats.evictions += 1
+            self._retire(victim, writebacks)
+        bit = 1 << (word - lo)
+        blocks.insert(0, [lo, n_words, bit if is_write else 0, bit])
+        self._used_words[set_idx] += footprint
+        stats.fill_bytes += n_words * 8
+        return AccessResult(
+            hit=False,
+            fill_addr=lo * 8,
+            fill_bytes=n_words * 8,
+            writebacks=writebacks or None,
+        )
+
+    # ------------------------------------------------------------------
+    def _fetch_range(self, word: int, blocks: list[list]) -> tuple[int, int]:
+        """Predicted fetch window around ``word``, trimmed so it never
+        overlaps a resident block."""
+        gran = self._hints[self._hint_slot(word)]
+        lo = word - (word % gran)
+        hi = lo + gran
+        for block in blocks:
+            start, end = block[0], block[0] + block[1]
+            if end <= word:
+                lo = max(lo, end)
+            elif start > word:
+                hi = min(hi, start)
+        return lo, hi
+
+    def _retire(self, block: list, writebacks: list[tuple[int, int]]) -> None:
+        start, n_words, dirty_mask, touched_mask = block
+        used = bin(touched_mask).count("1")
+        self.useful_fill_bytes += 8 * used
+        # Train the granularity predictor on observed utilisation.  A
+        # fully-used single word proves nothing about spatial locality,
+        # so growth needs a fully-used multi-word block (else the hint
+        # would oscillate 1 <-> 2 on sparse regions).
+        slot = self._hint_slot(start)
+        hint = self._hints[slot]
+        if used == n_words and MAX_BLOCK_WORDS > n_words >= 2:
+            self._hints[slot] = min(MAX_BLOCK_WORDS, hint * 2)
+        elif used * 2 <= n_words and n_words > 1:
+            self._hints[slot] = max(1, hint // 2)
+        if not dirty_mask:
+            return
+        # Coalesce contiguous dirty words into write-back runs.
+        run_start = None
+        for offset in range(n_words + 1):
+            dirty = offset < n_words and dirty_mask & (1 << offset)
+            if dirty and run_start is None:
+                run_start = offset
+            elif not dirty and run_start is not None:
+                nbytes = (offset - run_start) * 8
+                writebacks.append(((start + run_start) * 8, nbytes))
+                self.stats.writeback_bytes += nbytes
+                self.useful_wb_bytes += nbytes
+                run_start = None
+
+    # ------------------------------------------------------------------
+    def flush(self) -> list[tuple[int, int]]:
+        """Evict every block; returns coalesced dirty write-backs."""
+        writebacks: list[tuple[int, int]] = []
+        for set_idx, blocks in enumerate(self._sets):
+            for block in blocks:
+                self._retire(block, writebacks)
+            blocks.clear()
+            self._used_words[set_idx] = 0
+        return writebacks
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        """Expected data capacity: one tag word per average-granularity
+        block (~4 words) leaves ~4/5 of the array for data."""
+        return self.size_bytes * 4 // 5
+
+    @property
+    def tag_overhead_bits(self) -> int:
+        """Dedicated (out-of-array) metadata only: the predictor table
+        and per-set fill bookkeeping; tags live in the data array."""
+        predictor_bits = PREDICTOR_ENTRIES * 4
+        per_set_bits = self.num_sets * 16
+        return predictor_bits + per_set_bits
+
+    @property
+    def in_array_tag_bits(self) -> int:
+        """Worst-case in-array tag spend (one word per resident block)."""
+        return self._budget_words // 2 * self.num_sets * 64

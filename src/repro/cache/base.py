@@ -1,0 +1,95 @@
+"""Cache access protocol shared by every on-chip cache design.
+
+The timing layer is throughput-oriented: a miss installs its line
+immediately and the returned :class:`AccessResult` describes the physical
+traffic (fill reads, dirty write-backs) that the memory system must be
+charged for.  Subsequent accesses to the same line therefore hit, which
+models ideal MSHR merging of misses to in-flight lines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+
+class AccessResult(NamedTuple):
+    """Physical consequence of one cache access.
+
+    Attributes:
+        hit: True when the requested word was already resident.
+        fill_addr: byte address of the fill request (-1 when hit).
+        fill_bytes: size of the fill (line or sector granularity).
+        writebacks: list of (addr, nbytes) dirty evictions, or None.
+    """
+
+    hit: bool
+    fill_addr: int = -1
+    fill_bytes: int = 0
+    writebacks: list[tuple[int, int]] | None = None
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache activity counters."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writeback_bytes: int = 0
+    fill_bytes: int = 0
+    #: bytes the program actually asked for (8 B per access)
+    requested_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def unuseful_fill_fraction(self) -> float:
+        """Fraction of fetched bytes never requested (Fig. 3's red bars,
+        upper bound: a fetched word may be requested later)."""
+        if self.fill_bytes == 0:
+            return 0.0
+        useful = min(self.requested_bytes, self.fill_bytes)
+        return 1.0 - useful / self.fill_bytes
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = self.evictions = 0
+        self.writeback_bytes = self.fill_bytes = self.requested_bytes = 0
+
+
+class BaseCache(ABC):
+    """Interface every cache design implements."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    @abstractmethod
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        """Perform one 8-byte-granularity access."""
+
+    @abstractmethod
+    def flush(self) -> list[tuple[int, int]]:
+        """Evict everything; returns dirty (addr, nbytes) write-backs."""
+
+    @property
+    @abstractmethod
+    def capacity_bytes(self) -> int:
+        """Usable data capacity."""
+
+    @property
+    @abstractmethod
+    def tag_overhead_bits(self) -> int:
+        """Total tag/metadata storage in bits (area/energy accounting)."""
+
+
+@dataclass
+class _Way:
+    """One way of a set for line-granularity caches."""
+
+    tag: int = -1
+    dirty: bool = False
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,117 @@
+"""Conventional set-associative write-back cache with 64 B lines.
+
+The baseline on-chip memory of GraphDyns (Cache): every miss fetches a
+full burst even when the program needs 8 bytes -- the bandwidth waste the
+motivational experiment quantifies (Fig. 3).  To reproduce that figure's
+useful/unuseful split, each line tracks which 8 B words were actually
+touched (and which are dirty); the counts are settled at eviction time.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import AccessResult, BaseCache
+from repro.utils.units import log2_exact
+
+
+class ConventionalCache(BaseCache):
+    """LRU set-associative cache with burst-sized lines.
+
+    Args:
+        size_bytes: total data capacity.
+        ways: associativity.
+        line_bytes: line (and fill/write-back) granularity.
+        addr_bits: modelled physical address width (tag accounting).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int = 8,
+        line_bytes: int = 64,
+        addr_bits: int = 48,
+    ) -> None:
+        super().__init__()
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ValueError("size must be a multiple of ways * line size")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.addr_bits = addr_bits
+        self.num_sets = size_bytes // (ways * line_bytes)
+        self._line_shift = log2_exact(line_bytes)
+        self._set_mask = self.num_sets - 1
+        self._words_per_line = max(1, line_bytes // 8)
+        log2_exact(self.num_sets)
+        # Per set: MRU-first list of [block, dirty_mask, touched_mask].
+        self._sets: list[list[list]] = [[] for _ in range(self.num_sets)]
+        #: bytes of fetched lines actually consumed before eviction and
+        #: bytes of written-back lines actually dirty (Fig. 3 accounting)
+        self.useful_fill_bytes = 0
+        self.useful_wb_bytes = 0
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        stats = self.stats
+        stats.accesses += 1
+        stats.requested_bytes += 8
+        block = addr >> self._line_shift
+        set_idx = block & self._set_mask
+        word_bit = 1 << ((addr >> 3) & (self._words_per_line - 1))
+        ways = self._sets[set_idx]
+        for i, entry in enumerate(ways):
+            if entry[0] == block:
+                stats.hits += 1
+                if is_write:
+                    entry[1] |= word_bit
+                entry[2] |= word_bit
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return AccessResult(hit=True)
+
+        stats.misses += 1
+        stats.fill_bytes += self.line_bytes
+        writebacks = None
+        if len(ways) >= self.ways:
+            victim = ways.pop()
+            stats.evictions += 1
+            writebacks = self._retire(victim)
+        ways.insert(0, [block, word_bit if is_write else 0, word_bit])
+        return AccessResult(
+            hit=False,
+            fill_addr=block << self._line_shift,
+            fill_bytes=self.line_bytes,
+            writebacks=writebacks,
+        )
+
+    def _retire(self, entry: list) -> list[tuple[int, int]] | None:
+        """Settle useful-byte accounting; return the write-back if dirty."""
+        block, dirty_mask, touched_mask = entry
+        self.useful_fill_bytes += 8 * bin(touched_mask).count("1")
+        if not dirty_mask:
+            return None
+        self.useful_wb_bytes += 8 * bin(dirty_mask).count("1")
+        self.stats.writeback_bytes += self.line_bytes
+        return [(block << self._line_shift, self.line_bytes)]
+
+    def flush(self) -> list[tuple[int, int]]:
+        writebacks = []
+        for ways in self._sets:
+            for entry in ways:
+                wb = self._retire(entry)
+                if wb:
+                    writebacks.extend(wb)
+            ways.clear()
+        return writebacks
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        return self.size_bytes
+
+    @property
+    def tag_overhead_bits(self) -> int:
+        set_bits = log2_exact(self.num_sets)
+        tag_bits = self.addr_bits - set_bits - self._line_shift
+        lines = self.num_sets * self.ways
+        # The paper's tag accounting (Sec. V-A) excludes valid/dirty state.
+        return lines * tag_bits

@@ -1,0 +1,180 @@
+"""Graphfire cache (Manocha et al., ToC'23): graph-tuned policies.
+
+Graphfire synergises three policies for graph analytics on a sectored
+frame organisation:
+
+- **Fetch**: random accesses fill only the missing 8 B sector; a stream
+  detector upgrades sequential walks to full-frame fills.
+- **Insertion**: a hashed 2-bit hotness table predicts reuse; frames
+  for cold (predicted-dead) addresses are inserted at the LRU end
+  (LIP-style) so scans and one-touch vertices leave quickly instead of
+  polluting the set, while predicted-hot frames insert at MRU.
+- **Replacement**: LRU over the insertion-biased order, with dead-block
+  feedback -- a frame evicted without a single reuse cools its hotness
+  entry, so mispredicted blocks stop being promoted.
+
+Its per-frame reuse metadata lives alongside the data (the paper's
+"store the metadata along with the cache data"), modelled by reserving
+one way per set for metadata: an 8-way set keeps 7 data ways, i.e.
+87.5 % effective capacity.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import AccessResult, BaseCache
+from repro.utils.units import log2_exact
+
+#: hashed reuse-predictor entries x 2-bit counters
+HOTNESS_ENTRIES = 1024
+#: hotness threshold for MRU insertion
+HOT_THRESHOLD = 2
+
+# frame fields
+_BLOCK, _PRESENT, _DIRTY, _REUSED = range(4)
+
+
+class GraphfireCache(BaseCache):
+    """Sectored cache with reuse-predicted insertion and stream fills.
+
+    Args:
+        size_bytes: physical array size; one way per set holds metadata,
+            so data capacity is ``size * (ways - 1) / ways``.
+        ways: physical associativity (data ways = ways - 1).
+        addr_bits: physical address width for tag accounting.
+    """
+
+    def __init__(self, size_bytes: int, ways: int = 8,
+                 addr_bits: int = 48) -> None:
+        super().__init__()
+        if ways < 2:
+            raise ValueError("graphfire needs >= 2 ways (one holds metadata)")
+        if size_bytes % (ways * 64) != 0:
+            raise ValueError("size must be a multiple of ways * 64")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.data_ways = ways - 1
+        self.addr_bits = addr_bits
+        self.num_sets = size_bytes // (ways * 64)
+        log2_exact(self.num_sets)
+        self._set_mask = self.num_sets - 1
+        # Per set: MRU-first [block, present_mask, dirty_mask, reused].
+        self._sets: list[list[list]] = [[] for _ in range(self.num_sets)]
+        self._hotness = [0] * HOTNESS_ENTRIES
+        self._last_word = -2
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        """One 8 B access with stream-aware fill and LIP insertion."""
+        stats = self.stats
+        stats.accesses += 1
+        stats.requested_bytes += 8
+        word = addr >> 3
+        block = word >> 3
+        sector_bit = 1 << (word & 7)
+        set_idx = block & self._set_mask
+        frames = self._sets[set_idx]
+        streaming = word == self._last_word + 1
+        self._last_word = word
+        slot = self._hotness_slot(block)
+
+        for i, frame in enumerate(frames):
+            if frame[_BLOCK] == block:
+                frame[_REUSED] = True
+                self._hotness[slot] = min(3, self._hotness[slot] + 1)
+                if frame[_PRESENT] & sector_bit:
+                    stats.hits += 1
+                    if is_write:
+                        frame[_DIRTY] |= sector_bit
+                    if i:
+                        frames.insert(0, frames.pop(i))
+                    return AccessResult(hit=True)
+                # Frame present, sector missing: sector fill, no eviction.
+                stats.misses += 1
+                fill_mask = self._fill_mask(sector_bit, streaming,
+                                            frame[_PRESENT])
+                frame[_PRESENT] |= fill_mask
+                if is_write:
+                    frame[_DIRTY] |= sector_bit
+                if i:
+                    frames.insert(0, frames.pop(i))
+                nbytes = 8 * bin(fill_mask).count("1")
+                stats.fill_bytes += nbytes
+                return AccessResult(
+                    hit=False,
+                    fill_addr=addr & ~0x7,
+                    fill_bytes=nbytes,
+                    writebacks=None,
+                )
+
+        stats.misses += 1
+        writebacks = None
+        if len(frames) >= self.data_ways:
+            victim = frames.pop()
+            stats.evictions += 1
+            if not victim[_REUSED]:
+                # Dead-block feedback: evicted untouched -> cool it.
+                vslot = self._hotness_slot(victim[_BLOCK])
+                self._hotness[vslot] = max(0, self._hotness[vslot] - 1)
+            writebacks = self._retire(victim)
+        fill_mask = self._fill_mask(sector_bit, streaming, 0)
+        frame = [block, fill_mask, sector_bit if is_write else 0, False]
+        if self._hotness[slot] >= HOT_THRESHOLD:
+            frames.insert(0, frame)
+        else:
+            frames.append(frame)  # LIP: cold frames enter at LRU
+        self._hotness[slot] = min(3, self._hotness[slot] + 1)
+        nbytes = 8 * bin(fill_mask).count("1")
+        stats.fill_bytes += nbytes
+        return AccessResult(
+            hit=False,
+            fill_addr=addr & ~0x7,
+            fill_bytes=nbytes,
+            writebacks=writebacks,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fill_mask(sector_bit: int, streaming: bool, present: int) -> int:
+        if streaming:
+            return 0xFF & ~present
+        return sector_bit
+
+    def _hotness_slot(self, block: int) -> int:
+        return (block ^ (block >> 10)) % HOTNESS_ENTRIES
+
+    def _retire(self, frame: list) -> list[tuple[int, int]] | None:
+        block, _, dirty_mask = frame[_BLOCK], frame[_PRESENT], frame[_DIRTY]
+        if not dirty_mask:
+            return None
+        writebacks = []
+        for offset in range(8):
+            if dirty_mask & (1 << offset):
+                self.stats.writeback_bytes += 8
+                writebacks.append(((block << 6) + offset * 8, 8))
+        return writebacks
+
+    def flush(self) -> list[tuple[int, int]]:
+        """Evict every frame; returns per-sector dirty write-backs."""
+        writebacks = []
+        for frames in self._sets:
+            for frame in frames:
+                retired = self._retire(frame)
+                if retired:
+                    writebacks.extend(retired)
+            frames.clear()
+        return writebacks
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        """Data capacity after the reserved metadata way."""
+        return self.size_bytes * self.data_ways // self.ways
+
+    @property
+    def tag_overhead_bits(self) -> int:
+        """Frame tags plus the dedicated hotness table (the in-array
+        reuse metadata is charged as the reserved way instead)."""
+        set_bits = log2_exact(self.num_sets)
+        tag_bits = self.addr_bits - set_bits - 6
+        frames = self.num_sets * self.data_ways
+        return frames * (tag_bits + 8) + HOTNESS_ENTRIES * 2

@@ -1,0 +1,133 @@
+"""Sectored cache (Liptay, IBM S/360 M85): one tag per line, per-sector
+valid/dirty bits.
+
+Sector fills are fine-grained (8 B), so on top of Piccolo-FIM the fills
+can be gathered; the design's weakness is that a single sector still
+claims a whole line, wasting capacity (Sec. V-A, Fig. 6 left).
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import AccessResult, BaseCache
+from repro.utils.units import log2_exact
+
+
+class SectoredCache(BaseCache):
+    """LRU sectored cache: line-granularity tags, sector-granularity data."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int = 8,
+        line_bytes: int = 64,
+        sector_bytes: int = 8,
+        addr_bits: int = 48,
+    ) -> None:
+        super().__init__()
+        if line_bytes % sector_bytes != 0:
+            raise ValueError("line must be a multiple of the sector size")
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ValueError("size must be a multiple of ways * line size")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.sector_bytes = sector_bytes
+        self.sectors_per_line = line_bytes // sector_bytes
+        self.addr_bits = addr_bits
+        self.num_sets = size_bytes // (ways * line_bytes)
+        log2_exact(self.num_sets)
+        self._line_shift = log2_exact(line_bytes)
+        self._sector_shift = log2_exact(sector_bytes)
+        self._set_mask = self.num_sets - 1
+        # Per set: MRU-first list of [tag, valid_mask, dirty_mask].
+        self._sets: list[list[list]] = [[] for _ in range(self.num_sets)]
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        stats = self.stats
+        stats.accesses += 1
+        stats.requested_bytes += self.sector_bytes
+        block = addr >> self._line_shift
+        set_idx = block & self._set_mask
+        sector = (addr >> self._sector_shift) & (self.sectors_per_line - 1)
+        sector_bit = 1 << sector
+        ways = self._sets[set_idx]
+
+        for i, entry in enumerate(ways):
+            if entry[0] == block:
+                if entry[1] & sector_bit:
+                    stats.hits += 1
+                    if is_write:
+                        entry[2] |= sector_bit
+                    if i:
+                        ways.insert(0, ways.pop(i))
+                    return AccessResult(hit=True)
+                # Line present, sector invalid: fetch just the sector.
+                stats.misses += 1
+                stats.fill_bytes += self.sector_bytes
+                entry[1] |= sector_bit
+                if is_write:
+                    entry[2] |= sector_bit
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return AccessResult(
+                    hit=False,
+                    fill_addr=(block << self._line_shift)
+                    | (sector << self._sector_shift),
+                    fill_bytes=self.sector_bytes,
+                )
+
+        # Line miss: allocate a line, fetch only the requested sector.
+        stats.misses += 1
+        stats.fill_bytes += self.sector_bytes
+        writebacks = None
+        if len(ways) >= self.ways:
+            victim = ways.pop()
+            stats.evictions += 1
+            writebacks = self._dirty_sectors(victim)
+        ways.insert(
+            0, [block, sector_bit, sector_bit if is_write else 0]
+        )
+        return AccessResult(
+            hit=False,
+            fill_addr=(block << self._line_shift) | (sector << self._sector_shift),
+            fill_bytes=self.sector_bytes,
+            writebacks=writebacks,
+        )
+
+    def _dirty_sectors(self, entry: list) -> list[tuple[int, int]] | None:
+        block, _, dirty = entry
+        if not dirty:
+            return None
+        base = block << self._line_shift
+        writebacks = []
+        for s in range(self.sectors_per_line):
+            if dirty & (1 << s):
+                writebacks.append(
+                    (base | (s << self._sector_shift), self.sector_bytes)
+                )
+        self.stats.writeback_bytes += len(writebacks) * self.sector_bytes
+        return writebacks
+
+    def flush(self) -> list[tuple[int, int]]:
+        writebacks: list[tuple[int, int]] = []
+        for ways in self._sets:
+            for entry in ways:
+                wb = self._dirty_sectors(entry)
+                if wb:
+                    writebacks.extend(wb)
+            ways.clear()
+        return writebacks
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        return self.size_bytes
+
+    @property
+    def tag_overhead_bits(self) -> int:
+        set_bits = log2_exact(self.num_sets)
+        tag_bits = self.addr_bits - set_bits - self._line_shift
+        lines = self.num_sets * self.ways
+        # tag + (valid + dirty) per sector
+        return lines * (tag_bits + 2 * self.sectors_per_line)

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``list``
+    Show every reproducible figure with its paper headline.
+``figure <id> [--fast]``
+    Regenerate one figure table (e.g. ``fig10``, ``fig19b``).  With
+    ``--fast`` the experiment grid is trimmed (fewer datasets and
+    iterations) for a quick smoke run.
+``microbench [--engine]``
+    Run the Fig. 9 strided microbenchmark on the analytic model or the
+    command-level engine.
+``validate``
+    Replay the Sec. VI virtual-row command sequences through both
+    protocol checkers (the FPGA-emulation substitute).
+``datasets``
+    Print the scaled dataset registry (Table II stand-ins).
+
+The figure functions live in :mod:`repro.experiments.figures`; the CLI
+is a thin dispatcher so results match the pytest benches exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.experiments import figures
+
+#: figure id -> (callable, paper headline, fast-mode kwargs)
+FIGURES: dict[str, tuple[Callable[..., list[dict]], str, dict]] = {
+    "fig3": (figures.figure_3,
+             "BFS traffic: >90% unuseful without tiling; RD inflation "
+             "under perfect tiling",
+             {"datasets": ("SW",)}),
+    "fig9": (figures.figure_9, "FIM speedup ~4x at stride 8", {}),
+    "fig10": (figures.figure_10,
+              "Piccolo GM 1.62x; 1.68x over NMP; 2.83x over PIM",
+              {"datasets": ("UU", "SW"), "algorithms": ("PR", "BFS")}),
+    "fig11": (figures.figure_11,
+              "Piccolo within ~4% of the 8B-line ideal",
+              {"datasets": ("UU", "SW"), "algorithms": ("PR", "BFS")}),
+    "fig12": (figures.figure_12, "43.2% fewer off-chip transactions",
+              {"datasets": ("UU", "SW"), "algorithms": ("PR", "BFS")}),
+    "fig13": (figures.figure_13,
+              "Piccolo 60.3% off-chip utilisation + internal bandwidth",
+              {"datasets": ("UU", "SW"), "algorithms": ("PR", "BFS")}),
+    "fig14": (figures.figure_14, "37.3% GM energy reduction",
+              {"datasets": ("UU", "SW"), "algorithms": ("PR", "BFS")}),
+    "fig15": (figures.figure_15, "DDR4 x16 benefits most; 32B-burst "
+              "devices less", {"algorithms": ("PR", "BFS")}),
+    "fig16": (figures.figure_16, "more ranks -> more FIM speedup",
+              {"algorithms": ("PR", "BFS")}),
+    "fig17": (figures.figure_17, "Piccolo prefers larger tiles (x2-x8)",
+              {"algorithms": ("PR", "BFS")}),
+    "fig18": (figures.figure_18,
+              "Piccolo wins on WS and Kronecker synthetics",
+              {"datasets": ("WS26", "KN25")}),
+    "fig19a": (figures.figure_19a, "edge-centric also gains, except UU",
+               {"datasets": ("UU", "SW")}),
+    "fig19b": (figures.figure_19b, "~3.8x on OLAP selects",
+               {"num_rows": 1 << 13}),
+    "fig20a": (figures.figure_20a, "+17.9% (x4) / +20.3% (HBM) with "
+               "enhanced FIM", {"algorithms": ("PR", "BFS")}),
+    "fig20b": (figures.figure_20b, "~22.8% slowdown without prefetching",
+               {"datasets": ("UU", "SW")}),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in FIGURES)
+    for name, (_, headline, _fast) in FIGURES.items():
+        print(f"{name:<{width}}  {headline}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    key = args.id.lower().replace(".", "").replace("_", "")
+    if key not in FIGURES:
+        print(f"unknown figure {args.id!r}; run `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    fn, headline, fast_kwargs = FIGURES[key]
+    kwargs = fast_kwargs if args.fast else {}
+    rows = fn(**kwargs)
+    figures.print_rows(f"{key} -- paper: {headline}", rows)
+    return 0
+
+
+def _cmd_microbench(args: argparse.Namespace) -> int:
+    if args.engine:
+        from repro.dram.engine.xval import microbench_speedups
+        from repro.dram.spec import default_config
+
+        rows = []
+        for single_row in (True, False):
+            for row in microbench_speedups(default_config(), 1 << 18,
+                                           single_row=single_row):
+                rows.append({
+                    "layout": "single-row" if single_row else "multi-row",
+                    **{k: v for k, v in row.items()},
+                })
+        figures.print_rows("Fig. 9 on the command-level engine", rows)
+    else:
+        figures.print_rows("Fig. 9 (analytic)", figures.figure_9())
+    return 0
+
+
+def _cmd_validate(_args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.dram.engine import DRAMEngine, check_engine_result
+    from repro.dram.engine.workloads import fim_requests, random_mix
+    from repro.dram.spec import default_config
+    from repro.validate.end_to_end import validate_fim_data_path
+
+    config = default_config()
+    ok = validate_fim_data_path()
+    print(f"functional gather/scatter + Sec. VI command translation: "
+          f"{'OK' if ok else 'FAILED'}")
+    engine = DRAMEngine(config, refresh_enabled=True)
+    addrs, _ = random_mix(config, 400, seed=0)
+    requests, channels = fim_requests(config, addrs)
+    result = engine.run(requests, channels)
+    checked = check_engine_result(result)
+    print(f"cycle-level engine trace: {checked} commands, "
+          f"{result.stats.gathers} gathers -- protocol clean")
+    return 0 if ok else 1
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from repro.graph.datasets import DATASETS, load_dataset
+
+    print(f"{'key':<6} {'paper graph':<24} {'|V|':>9} {'|E|':>10} "
+          f"{'avg deg':>8}")
+    for key, spec in DATASETS.items():
+        graph = load_dataset(key)
+        degree = graph.num_edges / max(1, graph.num_vertices)
+        print(f"{key:<6} {spec.description:<24} {graph.num_vertices:>9}"
+              f" {graph.num_edges:>10} {degree:>8.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Piccolo (HPCA 2025) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproducible figures").set_defaults(
+        fn=_cmd_list
+    )
+    figure = sub.add_parser("figure", help="regenerate one figure")
+    figure.add_argument("id", help="figure id, e.g. fig10")
+    figure.add_argument("--fast", action="store_true",
+                        help="trimmed grid for a quick smoke run")
+    figure.set_defaults(fn=_cmd_figure)
+    micro = sub.add_parser("microbench", help="Fig. 9 strided sweep")
+    micro.add_argument("--engine", action="store_true",
+                       help="use the command-level engine")
+    micro.set_defaults(fn=_cmd_microbench)
+    sub.add_parser(
+        "validate", help="protocol validation (FPGA-emulation substitute)"
+    ).set_defaults(fn=_cmd_validate)
+    sub.add_parser("datasets", help="scaled dataset registry").set_defaults(
+        fn=_cmd_datasets
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Dispatch one CLI invocation; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

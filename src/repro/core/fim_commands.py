@@ -1,0 +1,228 @@
+"""Virtual-row command translation (Sec. VI, Fig. 8).
+
+Piccolo-FIM adds no opcode to the DDR protocol.  Each bank exposes two
+*virtual rows* ``y`` and ``z``; both map onto the same pair of internal
+buffers.  Ordinary writes/reads to the buffers' column addresses carry
+offsets and data, and the PRE/ACT pair the memory controller naturally
+emits when "switching" between the virtual rows creates the
+``tWR + tRP + tRCD`` gap in which the internal controller performs the
+eight column accesses (8 x tCCD_L = 39.84 ns fits inside 41.64 ns on
+DDR4-2400R).
+
+This module builds standard-command sequences for gather and scatter and
+interprets them against the functional :class:`~repro.core.fim.FimBank`;
+:mod:`repro.validate.protocol` then replays the sequences through a DDR4
+timing checker, which is this reproduction's substitute for the paper's
+FPGA emulation (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fim import FimBank, FimCommandError
+from repro.dram.spec import DeviceSpec
+
+
+@dataclass(frozen=True)
+class DDRCommand:
+    """One standard DDR command as seen on the command bus."""
+
+    time_ns: float
+    kind: str  # "ACT" | "PRE" | "RD" | "WR"
+    bank: int
+    row: int | None = None
+    col: int | None = None
+    #: payload on the data bus (offsets or 64-bit words), if any
+    data: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ACT", "PRE", "RD", "WR"):
+            raise ValueError(f"non-standard command {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class VirtualRowMap:
+    """Address assignment of the two virtual rows per bank (Fig. 8a).
+
+    The virtual rows sit above the physical rows; each has two column
+    regions mapped to the offset buffer and the data buffer.
+    """
+
+    physical_rows: int
+    OFFSET_BUF_COL: int = 0
+    DATA_BUF_COL: int = 8
+
+    @property
+    def row_y(self) -> int:
+        return self.physical_rows
+
+    @property
+    def row_z(self) -> int:
+        return self.physical_rows + 1
+
+    def is_virtual(self, row: int) -> bool:
+        return row in (self.row_y, self.row_z)
+
+    def other(self, row: int) -> int:
+        if not self.is_virtual(row):
+            raise ValueError(f"row {row} is not virtual")
+        return self.row_z if row == self.row_y else self.row_y
+
+
+def gather_sequence(
+    spec: DeviceSpec,
+    vmap: VirtualRowMap,
+    bank: int,
+    offsets: list[int],
+    start_ns: float = 0.0,
+    use_row_y: bool = True,
+) -> list[DDRCommand]:
+    """Standard-command sequence for one gather on an activated row.
+
+    WR(offset buffer @ row y) triggers the internal gather; the
+    controller then "opens" row z to read the data buffer, and the
+    PRE/ACT pair (translated to no-ops inside the chip) supplies the
+    tWR + tRP + tRCD execution window.
+    """
+    trig_row = vmap.row_y if use_row_y else vmap.row_z
+    read_row = vmap.other(trig_row)
+    t = start_ns
+    cmds = [
+        DDRCommand(t, "WR", bank, row=trig_row, col=vmap.OFFSET_BUF_COL,
+                   data=tuple(offsets)),
+    ]
+    t += spec.tWR + spec.tBURST
+    cmds.append(DDRCommand(t, "PRE", bank, row=trig_row))
+    t += spec.tRP
+    cmds.append(DDRCommand(t, "ACT", bank, row=read_row))
+    t += spec.tRCD
+    cmds.append(DDRCommand(t, "RD", bank, row=read_row, col=vmap.DATA_BUF_COL))
+    return cmds
+
+
+def scatter_sequence(
+    spec: DeviceSpec,
+    vmap: VirtualRowMap,
+    bank: int,
+    offsets: list[int],
+    values: list[int],
+    start_ns: float = 0.0,
+    use_row_y: bool = True,
+    dummy_write: bool = True,
+) -> list[DDRCommand]:
+    """Standard-command sequence for one scatter on an activated row.
+
+    Offsets and data are written to the buffers of one virtual row; the
+    next command to the *other* virtual row (a dummy write when nothing
+    else is scheduled, Sec. VI) forces the PRE/ACT gap that hides the
+    internal scatter.
+    """
+    if len(offsets) != len(values):
+        raise ValueError("offsets and values must pair up")
+    trig_row = vmap.row_y if use_row_y else vmap.row_z
+    next_row = vmap.other(trig_row)
+    t = start_ns
+    cmds = [
+        DDRCommand(t, "WR", bank, row=trig_row, col=vmap.OFFSET_BUF_COL,
+                   data=tuple(offsets)),
+    ]
+    t += spec.tCCD
+    cmds.append(
+        DDRCommand(t, "WR", bank, row=trig_row, col=vmap.DATA_BUF_COL,
+                   data=tuple(values))
+    )
+    if dummy_write:
+        t += spec.tWR + spec.tBURST
+        cmds.append(DDRCommand(t, "PRE", bank, row=trig_row))
+        t += spec.tRP
+        cmds.append(DDRCommand(t, "ACT", bank, row=next_row))
+        t += spec.tRCD
+        cmds.append(
+            DDRCommand(t, "WR", bank, row=next_row, col=vmap.OFFSET_BUF_COL,
+                       data=())
+        )
+    return cmds
+
+
+class VirtualRowController:
+    """The in-DRAM internal controller: interprets standard commands.
+
+    Wraps a functional :class:`FimBank`.  Commands touching physical rows
+    behave conventionally; commands touching the two virtual rows are
+    translated: ACT/PRE become no-ops, writes to the buffer columns load
+    the offset/data buffers (a loaded offset buffer arms a gather, a
+    subsequent data write re-arms it as a scatter), and the armed
+    operation executes when its timing window opens.
+    """
+
+    def __init__(self, bank: FimBank, vmap: VirtualRowMap) -> None:
+        self.bank = bank
+        self.vmap = vmap
+        self._armed: str | None = None  # "gather" | "scatter"
+        self._window_start: float | None = None
+        self.executed_ops: list[tuple[str, float]] = []
+
+    def handle(self, cmd: DDRCommand) -> list[int] | None:
+        """Apply one command; RD returns the data burst payload."""
+        if cmd.row is not None and self.vmap.is_virtual(cmd.row):
+            return self._handle_virtual(cmd)
+        # Conventional behaviour on physical rows.
+        if cmd.kind == "ACT":
+            self.bank.activate(cmd.row)
+        elif cmd.kind == "PRE":
+            self.bank.precharge()
+        elif cmd.kind == "RD":
+            return [self.bank.read_word(cmd.col)]
+        elif cmd.kind == "WR":
+            self.bank.write_word(cmd.col, cmd.data[0])
+        return None
+
+    def _handle_virtual(self, cmd: DDRCommand) -> list[int] | None:
+        vmap = self.vmap
+        if cmd.kind == "ACT":
+            # Translated to a no-op; the internal operation keeps running
+            # through the PRE/ACT gap and is checked when data is needed.
+            return None
+        if cmd.kind == "PRE":
+            return None  # no-op: the real target row stays open
+        if cmd.kind == "WR":
+            if cmd.col == vmap.OFFSET_BUF_COL:
+                if cmd.data:
+                    self.bank.write_offset_buffer(list(cmd.data))
+                    self._armed = "gather"
+                    self._window_start = cmd.time_ns
+                else:
+                    # Dummy write keeping the activation cadence (Sec. VI).
+                    self._maybe_execute(cmd.time_ns)
+                return None
+            if cmd.col == vmap.DATA_BUF_COL:
+                self.bank.write_data_buffer(list(cmd.data))
+                self._armed = "scatter"
+                self._window_start = cmd.time_ns
+                return None
+            raise FimCommandError(f"unmapped virtual column {cmd.col}")
+        if cmd.kind == "RD":
+            if cmd.col != vmap.DATA_BUF_COL:
+                raise FimCommandError(f"unmapped virtual column {cmd.col}")
+            self._maybe_execute(cmd.time_ns)
+            return self.bank.read_data_buffer()
+        raise FimCommandError(f"unexpected command {cmd.kind}")
+
+    def _maybe_execute(self, now_ns: float) -> None:
+        if self._armed is None:
+            return
+        needed = self.bank.offset_count * self.bank.spec.tCCD
+        elapsed = now_ns - (self._window_start or 0.0)
+        if elapsed + 1e-9 < needed:
+            raise FimCommandError(
+                f"{self._armed} window too short: {elapsed:.2f} ns < "
+                f"{needed:.2f} ns"
+            )
+        if self._armed == "gather":
+            self.bank.gather_execute()
+        else:
+            self.bank.scatter_execute()
+        self.executed_ops.append((self._armed, now_ns))
+        self._armed = None
+        self._window_start = None

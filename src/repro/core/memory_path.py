@@ -1,0 +1,169 @@
+"""Random-access memory paths: cache -> (MSHR) -> DRAM request streams.
+
+The accelerator's prefetcher streams topology and sequential properties
+straight from DRAM; only the *random* vertex-property accesses traverse
+the on-chip cache (Fig. 1).  These classes run a batch of 8-byte accesses
+through a cache and translate the resulting fills/write-backs into the
+physical requests the DRAM phase evaluator consumes:
+
+- :class:`ConventionalMemoryPath`: burst-granularity fills/write-backs
+  (GraphDyns-Cache baseline).
+- :class:`FineGrainedMemoryPath`: 8 B fills/write-backs batched into
+  scatter/gather operations by the collection-extended MSHR (Piccolo and
+  the NMP baseline, plus every fine-grained cache of Fig. 11).
+
+A :class:`LocalityMonitor` (Sec. VIII-A) can redirect detected-sequential
+traffic to conventional bursts, the fallback the paper suggests for
+regular workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.base import BaseCache
+from repro.core.collection_mshr import CollectionExtendedMSHR
+from repro.dram.system import FimOp
+
+
+class ConventionalMemoryPath:
+    """Cache misses become burst-sized DRAM reads/writes."""
+
+    def __init__(self, cache: BaseCache) -> None:
+        self.cache = cache
+        self.req_addrs: list[int] = []
+        self.req_write: list[bool] = []
+
+    def run(self, addrs: np.ndarray, rmw: bool) -> None:
+        """Process a batch of 8 B accesses (``rmw`` marks read-modify-write)."""
+        access = self.cache.access
+        req_a, req_w = self.req_addrs, self.req_write
+        for a in addrs.tolist():
+            hit, fill_addr, _, wbs = access(a, rmw)
+            if not hit:
+                req_a.append(fill_addr)
+                req_w.append(False)
+            if wbs:
+                for wb_addr, _ in wbs:
+                    req_a.append(wb_addr)
+                    req_w.append(True)
+
+    def drain(self) -> tuple[np.ndarray, np.ndarray]:
+        """Take the accumulated DRAM requests (and reset)."""
+        addrs = np.asarray(self.req_addrs, dtype=np.int64)
+        writes = np.asarray(self.req_write, dtype=bool)
+        self.req_addrs, self.req_write = [], []
+        return addrs, writes
+
+    def flush(self) -> None:
+        """Write back all dirty state (end of run)."""
+        for wb_addr, _ in self.cache.flush():
+            self.req_addrs.append(wb_addr)
+            self.req_write.append(True)
+
+
+class LocalityMonitor:
+    """Sequential-pattern detector (Sec. VIII-A).
+
+    Watches the last ``window`` accesses; when the fraction of +8 B deltas
+    exceeds ``threshold`` the path falls back to conventional bursts,
+    re-evaluated every window.
+    """
+
+    def __init__(self, window: int = 64, threshold: float = 0.75) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.window = window
+        self.threshold = threshold
+        self._last_addr: int | None = None
+        self._seen = 0
+        self._sequential = 0
+        self.bypass = False
+
+    def observe(self, addr: int) -> None:
+        if self._last_addr is not None and addr - self._last_addr == 8:
+            self._sequential += 1
+        self._last_addr = addr
+        self._seen += 1
+        if self._seen >= self.window:
+            self.bypass = self._sequential / self._seen >= self.threshold
+            self._seen = 0
+            self._sequential = 0
+
+
+class FineGrainedMemoryPath:
+    """Fine-grained cache + collection-extended MSHR -> FIM operations."""
+
+    def __init__(
+        self,
+        cache: BaseCache,
+        mshr: CollectionExtendedMSHR,
+        locality_monitor: LocalityMonitor | None = None,
+    ) -> None:
+        self.cache = cache
+        self.mshr = mshr
+        self.monitor = locality_monitor
+        self.fim_ops: list[FimOp] = []
+        #: conventional bursts issued while the locality monitor bypasses
+        self.bypass_addrs: list[int] = []
+        self.bypass_write: list[bool] = []
+        self._last_bypass_fill = -1
+        self._last_bypass_wb = -1
+
+    def run(self, addrs: np.ndarray, rmw: bool) -> None:
+        """Process a batch of 8 B accesses through cache + MSHR."""
+        access = self.cache.access
+        add_read = self.mshr.add_read
+        add_write = self.mshr.add_write
+        ops = self.fim_ops
+        monitor = self.monitor
+        for a in addrs.tolist():
+            if monitor is not None:
+                monitor.observe(a)
+                if monitor.bypass:
+                    # Conventional burst fills; consecutive words of the
+                    # same 64 B block share one burst.
+                    hit, fill_addr, _, wbs = access(a, rmw)
+                    if not hit:
+                        block = fill_addr & ~63
+                        if block != self._last_bypass_fill:
+                            self.bypass_addrs.append(block)
+                            self.bypass_write.append(False)
+                            self._last_bypass_fill = block
+                    if wbs:
+                        for wb_addr, _ in wbs:
+                            block = wb_addr & ~63
+                            if block != self._last_bypass_wb:
+                                self.bypass_addrs.append(block)
+                                self.bypass_write.append(True)
+                                self._last_bypass_wb = block
+                    continue
+            hit, fill_addr, _, wbs = access(a, rmw)
+            if not hit:
+                issued = add_read(fill_addr)
+                if issued:
+                    ops.extend(issued)
+            if wbs:
+                for wb_addr, _ in wbs:
+                    issued = add_write(wb_addr)
+                    if issued:
+                        ops.extend(issued)
+
+    def drain(self) -> tuple[list[FimOp], np.ndarray, np.ndarray]:
+        """Take accumulated FIM ops and bypass bursts (and reset)."""
+        ops = self.fim_ops
+        addrs = np.asarray(self.bypass_addrs, dtype=np.int64)
+        writes = np.asarray(self.bypass_write, dtype=bool)
+        self.fim_ops = []
+        self.bypass_addrs, self.bypass_write = [], []
+        return ops, addrs, writes
+
+    def flush(self) -> None:
+        """Drain cache dirty state and pending MSHR entries (end of run)."""
+        for wb_addr, _ in self.cache.flush():
+            issued = self.mshr.add_write(wb_addr)
+            if issued:
+                self.fim_ops.extend(issued)
+        self.fim_ops.extend(self.mshr.flush())

@@ -1,0 +1,277 @@
+"""Piccolo-cache: fine-grained storage with split (tag, fg-tag) lookup.
+
+Sec. V / Fig. 5b.  A line covers a contiguous *window* of
+``sectors_per_line * 2**fg_tag_bits * 8`` bytes (32 KB in the paper's
+4 MB configuration).  The address splits, LSB to MSB, into
+
+    [ byte(3) | fg-offset(log2 sectors) | fg-tag | set | tag ]
+
+A line holds one 8 B sector per fg-offset; the sector's fg-tag records
+*which* 128 B-strided word of the window currently occupies the slot.
+Splitting the conventional 29-bit tag into a per-line 21-bit tag plus
+per-sector 8-bit fg-tags cuts tag storage from 45.31 % of data capacity
+to 2.05 % + 12.50 % while behaving almost like an 8 B-line cache.
+
+Replacement (Sec. V-B / Fig. 6):
+
+- The same tag may occupy several ways of a set; lookup searches ways
+  sequentially (cheap, throughput-oriented).
+- A fg-tag miss with the tag already at its way-partition quota replaces
+  just the victim *sector* in the LRU line of that tag.
+- Otherwise a whole line of another tag is evicted (equal way
+  partitioning across the tags of the current tile; unequal partitioning
+  is the paper's future work, available here as the ``"utility"`` mode).
+- Victim ordering is LRU by default, SRRIP when ``policy="rrip"``
+  (Fig. 11's Piccolo (RRIP) bars).
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import AccessResult, BaseCache
+from repro.utils.units import log2_exact
+
+#: SRRIP constants (2-bit re-reference prediction values).
+RRIP_BITS = 2
+RRIP_MAX = (1 << RRIP_BITS) - 1
+RRIP_INSERT = RRIP_MAX - 1
+
+
+class _Line:
+    """One Piccolo-cache line: a tag plus per-sector fg-tags."""
+
+    __slots__ = ("tag", "fg", "dirty", "rrpv")
+
+    def __init__(self, tag: int, sectors: int) -> None:
+        self.tag = tag
+        self.fg = [-1] * sectors  # -1 = invalid sector
+        self.dirty = 0            # bitmask over sectors
+        self.rrpv = RRIP_INSERT
+
+
+class PiccoloCache(BaseCache):
+    """The split-tag fine-grained cache of Sec. V.
+
+    Args:
+        size_bytes: data capacity.
+        ways: associativity (paper: 8).
+        line_bytes: line size (paper: 128 = 16 sectors x 8 B).
+        sector_bytes: fine-grained granularity (paper: 8).
+        fg_tag_bits: per-sector tag width (paper: 8).  Scaled-down
+            experiments use 4 so the window/tile ratios match (DESIGN.md).
+        policy: ``"lru"`` or ``"rrip"``.
+        addr_bits: modelled address width (tag accounting only).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int = 8,
+        line_bytes: int = 128,
+        sector_bytes: int = 8,
+        fg_tag_bits: int = 8,
+        policy: str = "lru",
+        addr_bits: int = 48,
+    ) -> None:
+        super().__init__()
+        if policy not in ("lru", "rrip"):
+            raise ValueError("policy must be 'lru' or 'rrip'")
+        if line_bytes % sector_bytes != 0:
+            raise ValueError("line must be a multiple of the sector size")
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ValueError("size must be a multiple of ways * line size")
+        if not 1 <= fg_tag_bits <= 16:
+            raise ValueError("fg_tag_bits must be in [1, 16]")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.sector_bytes = sector_bytes
+        self.sectors_per_line = line_bytes // sector_bytes
+        self.fg_tag_bits = fg_tag_bits
+        self.policy = policy
+        self.addr_bits = addr_bits
+        self.num_sets = size_bytes // (ways * line_bytes)
+        log2_exact(self.num_sets)
+
+        self._sector_shift = log2_exact(sector_bytes)
+        self._fg_off_bits = log2_exact(self.sectors_per_line)
+        self._fg_shift = self._sector_shift + self._fg_off_bits
+        self._set_shift = self._fg_shift + fg_tag_bits
+        self._set_bits = log2_exact(self.num_sets)
+        self._tag_shift = self._set_shift + self._set_bits
+        self._sets: list[list[_Line]] = [[] for _ in range(self.num_sets)]
+        #: ways each tag may occupy (equal way partitioning, Sec. V-B);
+        #: the tiling layer calls :meth:`set_way_quota` per tile.
+        self.way_quota = ways
+        #: extra counters beyond CacheStats
+        self.sector_replacements = 0
+        self.line_evictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def window_bytes(self) -> int:
+        """Contiguous address range one (tag, set) pair covers."""
+        return 1 << self._set_shift
+
+    def set_way_quota(self, tags_per_set: int) -> None:
+        """Equal way partitioning for a tile spanning ``tags_per_set``
+        distinct tags per set (Sec. V-B)."""
+        if tags_per_set < 1:
+            raise ValueError("tags_per_set must be >= 1")
+        self.way_quota = max(1, self.ways // tags_per_set)
+
+    # ------------------------------------------------------------------
+    def _split(self, addr: int) -> tuple[int, int, int, int]:
+        off = (addr >> self._sector_shift) & (self.sectors_per_line - 1)
+        fg = (addr >> self._fg_shift) & ((1 << self.fg_tag_bits) - 1)
+        set_idx = (addr >> self._set_shift) & (self.num_sets - 1)
+        tag = addr >> self._tag_shift
+        return tag, set_idx, fg, off
+
+    def _sector_addr(self, tag: int, set_idx: int, fg: int, off: int) -> int:
+        return (
+            (tag << self._tag_shift)
+            | (set_idx << self._set_shift)
+            | (fg << self._fg_shift)
+            | (off << self._sector_shift)
+        )
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        stats = self.stats
+        stats.accesses += 1
+        stats.requested_bytes += self.sector_bytes
+        tag, set_idx, fg, off = self._split(addr)
+        ways = self._sets[set_idx]
+        bit = 1 << off
+
+        # Sequential way search (Sec. V-A): first matching tag wins the
+        # fg-tag comparison; remember every same-tag line for replacement.
+        same_tag_idx: list[int] = []
+        for i, line in enumerate(ways):
+            if line.tag == tag:
+                if line.fg[off] == fg:
+                    stats.hits += 1
+                    if is_write:
+                        line.dirty |= bit
+                    self._touch(ways, i)
+                    return AccessResult(hit=True)
+                same_tag_idx.append(i)
+
+        stats.misses += 1
+        stats.fill_bytes += self.sector_bytes
+        writebacks: list[tuple[int, int]] | None = None
+
+        # Sector replacement only when the tag already holds its allocated
+        # ways (Sec. V-B); below quota the tag claims a whole new line.
+        if same_tag_idx and len(same_tag_idx) >= self.way_quota:
+            # Replace one sector in the victim line of this tag (Fig. 6).
+            victim_i = self._victim_among(ways, same_tag_idx)
+            line = ways[victim_i]
+            old_fg = line.fg[off]
+            if old_fg >= 0 and line.dirty & bit:
+                wb_addr = self._sector_addr(tag, set_idx, old_fg, off)
+                writebacks = [(wb_addr, self.sector_bytes)]
+                stats.writeback_bytes += self.sector_bytes
+            line.fg[off] = fg
+            if is_write:
+                line.dirty |= bit
+            else:
+                line.dirty &= ~bit
+            self.sector_replacements += 1
+            self._touch(ways, victim_i)
+        else:
+            # Whole-line allocation; evict another tag's LRU line if full.
+            if len(ways) >= self.ways:
+                victim_i = self._victim_among(
+                    ways,
+                    [i for i in range(len(ways)) if i not in same_tag_idx]
+                    or list(range(len(ways))),
+                )
+                victim = ways.pop(victim_i)
+                stats.evictions += 1
+                self.line_evictions += 1
+                writebacks = self._dirty_sector_writebacks(victim, set_idx)
+            line = _Line(tag, self.sectors_per_line)
+            line.fg[off] = fg
+            if is_write:
+                line.dirty |= bit
+            line.rrpv = RRIP_INSERT
+            ways.insert(0, line)
+
+        return AccessResult(
+            hit=False,
+            fill_addr=addr & ~(self.sector_bytes - 1),
+            fill_bytes=self.sector_bytes,
+            writebacks=writebacks,
+        )
+
+    # ------------------------------------------------------------------
+    def _touch(self, ways: list[_Line], index: int) -> None:
+        if self.policy == "lru":
+            if index:
+                ways.insert(0, ways.pop(index))
+        else:
+            ways[index].rrpv = 0
+
+    def _victim_among(self, ways: list[_Line], candidates: list[int]) -> int:
+        """Pick the victim index among ``candidates`` per the policy."""
+        if self.policy == "lru":
+            # MRU-first list: the last candidate is least recently used.
+            return candidates[-1]
+        # SRRIP: the candidate with the highest RRPV; age if none at max.
+        while True:
+            best = max(candidates, key=lambda i: ways[i].rrpv)
+            if ways[best].rrpv >= RRIP_MAX:
+                return best
+            for i in candidates:
+                ways[i].rrpv = min(RRIP_MAX, ways[i].rrpv + 1)
+
+    def _dirty_sector_writebacks(
+        self, line: _Line, set_idx: int
+    ) -> list[tuple[int, int]] | None:
+        if not line.dirty:
+            return None
+        writebacks = []
+        for off in range(self.sectors_per_line):
+            if line.dirty & (1 << off):
+                addr = self._sector_addr(line.tag, set_idx, line.fg[off], off)
+                writebacks.append((addr, self.sector_bytes))
+        self.stats.writeback_bytes += len(writebacks) * self.sector_bytes
+        return writebacks
+
+    def flush(self) -> list[tuple[int, int]]:
+        writebacks: list[tuple[int, int]] = []
+        for set_idx, ways in enumerate(self._sets):
+            for line in ways:
+                wb = self._dirty_sector_writebacks(line, set_idx)
+                if wb:
+                    writebacks.extend(wb)
+            ways.clear()
+        return writebacks
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        return self.size_bytes
+
+    @property
+    def tag_bits(self) -> int:
+        return self.addr_bits - self._tag_shift
+
+    @property
+    def tag_overhead_bits(self) -> int:
+        lines = self.num_sets * self.ways
+        return lines * self.tag_bits + lines * self.sectors_per_line * self.fg_tag_bits
+
+    @property
+    def tag_overhead_fraction(self) -> float:
+        """Line-tag storage relative to data (paper: 2.05 %)."""
+        return (self.num_sets * self.ways * self.tag_bits) / (self.size_bytes * 8)
+
+    @property
+    def fg_tag_overhead_fraction(self) -> float:
+        """fg-tag storage relative to data (paper: 12.50 %)."""
+        lines = self.num_sets * self.ways
+        return (lines * self.sectors_per_line * self.fg_tag_bits) / (
+            self.size_bytes * 8
+        )

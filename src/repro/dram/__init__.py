@@ -1,0 +1,24 @@
+"""DRAM substrate: device specs, address mapping, command-level timing.
+
+The model is an event/episode-driven *throughput* model at DRAM-command
+granularity (see DESIGN.md): per-bank row-episode service times honour
+tRCD/tRP/tRAS/tCCD/tWR, the shared data bus is charged per burst, and a
+phase's memory time is the binding resource (slowest bank vs. busiest
+channel bus).  This reproduces the quantities Piccolo's evaluation is
+about -- transaction counts, bank/bus occupancy, activation counts --
+without per-cycle simulation.
+"""
+
+from repro.dram.spec import DeviceSpec, DEVICES, DRAMConfig
+from repro.dram.address import AddressMapper
+from repro.dram.system import DRAMModel, PhaseStats, FimOp
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICES",
+    "DRAMConfig",
+    "AddressMapper",
+    "DRAMModel",
+    "PhaseStats",
+    "FimOp",
+]

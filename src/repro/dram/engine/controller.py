@@ -1,0 +1,491 @@
+"""Per-channel memory controller: FR-FCFS over banks plus FIM sequencing.
+
+The controller owns one channel: its rank/bank timing state, its shared
+data bus, and three request queues (reads, writes, FIM operations).  On
+every scheduling step it issues at most one command -- the command bus
+carries one slot per clock -- chosen by a First-Ready, First-Come
+First-Served policy:
+
+1. an overdue refresh (banks are closed first),
+2. the next step of an in-flight FIM virtual-row sequence,
+3. a row-hit column command for the oldest matching request,
+4. the preparation command (PRE/ACT) for the oldest request.
+
+Writes are buffered and drained in batches between high/low watermarks,
+the standard technique to amortise bus turnarounds.  Piccolo-FIM
+requests expand into the Sec. VI standard-command sequence::
+
+    gather:   [ACT x]  WR(off)          PRE   ACT   RD(data)
+    scatter:  [ACT x]  WR(off) WR(data) PRE   ACT   WR(trigger)
+
+where the PRE/ACT pair targets the virtual rows (translated to no-ops
+inside the chip, so the physically open row x survives the sequence)
+and supplies the ``tWR + tRP + tRCD`` window that hides the in-bank
+column accesses.  The engine additionally enforces the Sec. VI
+feasibility bound: the final column command may not issue before
+``items x tCCD_L`` after the offsets arrive, which models the "slightly
+adjusted tWR" of slower grades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.engine.commands import (
+    Command,
+    CommandType,
+    EngineStats,
+    Request,
+    RequestType,
+)
+from repro.dram.engine.state import DataBus, RankState
+from repro.dram.engine.timing import TimingTable
+
+#: write-drain watermarks as fractions of the write queue capacity
+WRITE_HI = 0.75
+WRITE_LO = 0.25
+
+#: an unreachable future cycle
+_NEVER = 1 << 60
+
+
+@dataclass
+class _FimStep:
+    """One command of an in-flight FIM sequence."""
+
+    kind: CommandType
+    virtual: bool
+    #: data-bus bursts this step transfers (0 for ACT/PRE)
+    bursts: int = 0
+    #: column driven on the bus (offset vs data buffer region)
+    column: int = 0
+    #: must wait for the in-bank operation window (Sec. VI bound)
+    window_bound: bool = False
+
+
+@dataclass
+class _FimProgram:
+    """Decomposed FIM request plus its progress."""
+
+    request: Request
+    steps: list[_FimStep]
+    next_step: int = 0
+    #: cycle the offset-buffer write data completes (window anchor)
+    offsets_ready: int = -1
+
+    @property
+    def current(self) -> _FimStep:
+        """The next step awaiting issue."""
+        return self.steps[self.next_step]
+
+    @property
+    def finished(self) -> bool:
+        """Whether every step has issued."""
+        return self.next_step >= len(self.steps)
+
+
+class ChannelController:
+    """One channel's scheduler; drive with :meth:`step`."""
+
+    def __init__(
+        self,
+        timing: TimingTable,
+        ranks: int,
+        channel: int = 0,
+        queue_depth: int = 32,
+        fim_items: int = 8,
+        fim_offset_bursts: int = 1,
+        fim_data_bursts: int = 1,
+        refresh_enabled: bool = True,
+    ) -> None:
+        self.timing = timing
+        self.channel = channel
+        self.queue_depth = queue_depth
+        self.fim_items = fim_items
+        self.fim_offset_bursts = fim_offset_bursts
+        self.fim_data_bursts = fim_data_bursts
+        self.refresh_enabled = refresh_enabled
+        self.ranks = [RankState(timing) for _ in range(ranks)]
+        self.bus = DataBus(timing)
+        self.read_q: list[Request] = []
+        self.write_q: list[Request] = []
+        self.fim_q: list[Request] = []
+        #: at most one in-flight FIM program per bank
+        self._programs: dict[tuple[int, int], _FimProgram] = {}
+        #: physically open row per (rank, bank) across virtual sequences
+        self._physical_row: dict[tuple[int, int], int | None] = {}
+        self._write_mode = False
+        self.trace: list[Command] = []
+        self.stats = EngineStats()
+        self.finished: list[Request] = []
+
+    # ------------------------------------------------------------------
+    # Queue admission
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request) -> None:
+        """Admit one request (caller respects queue_depth via
+        :meth:`can_accept`)."""
+        if request.kind is RequestType.READ:
+            self.read_q.append(request)
+        elif request.kind is RequestType.WRITE:
+            self.write_q.append(request)
+        else:
+            self.fim_q.append(request)
+
+    def can_accept(self, kind: RequestType) -> bool:
+        """Whether the queue for ``kind`` has room."""
+        queue = {
+            RequestType.READ: self.read_q,
+            RequestType.WRITE: self.write_q,
+        }.get(kind, self.fim_q)
+        return len(queue) < self.queue_depth
+
+    @property
+    def pending(self) -> int:
+        """Outstanding work: queued requests plus in-flight programs."""
+        return (
+            len(self.read_q) + len(self.write_q) + len(self.fim_q)
+            + len(self._programs)
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> tuple[int, bool]:
+        """Issue at most one command at or after ``now``.
+
+        Returns ``(next_cycle, issued)``: the cycle at which the
+        controller next wants control, and whether a command issued.
+        With an empty system ``next_cycle`` is a refresh deadline or
+        ``_NEVER``.
+        """
+        candidates: list[tuple[int, int, object]] = []  # (cycle, prio, action)
+
+        if self.refresh_enabled:
+            for rank_id, rank in enumerate(self.ranks):
+                if now >= rank.next_refresh_due:
+                    cycle, action = self._refresh_action(rank_id, now)
+                    candidates.append((cycle, 0, action))
+
+        for key, program in self._programs.items():
+            cycle = self._fim_step_earliest(key, program, now)
+            candidates.append((cycle, 1, ("fim", key)))
+
+        fim_index = self._next_startable_fim()
+        if fim_index is not None:
+            request = self.fim_q[fim_index]
+            candidates.append((max(now, request.arrival), 2,
+                               ("fim_start", fim_index)))
+
+        self._update_write_mode()
+        queue = self.write_q if self._write_mode else self.read_q
+        other = self.read_q if self._write_mode else self.write_q
+        for source in (queue, other):
+            action = self._best_regular(source, now)
+            if action is not None:
+                cycle, act = action
+                # Non-preferred direction only when preferred is empty.
+                prio = 3 if source is queue else 4
+                candidates.append((cycle, prio, act))
+            if source is queue and action is not None:
+                break
+
+        if not candidates:
+            due = min(
+                (r.next_refresh_due for r in self.ranks), default=_NEVER
+            ) if self.refresh_enabled else _NEVER
+            return due, False
+
+        candidates.sort(key=lambda c: (c[0], c[1]))
+        cycle, _, action = candidates[0]
+        if cycle > now:
+            return cycle, False
+        self._execute(action, cycle)
+        if action[0] == "fim_start":
+            # Starting a program consumes no command-bus slot; schedule
+            # again in the same cycle.
+            return self.step(now)
+        return cycle + 1, True
+
+    # ------------------------------------------------------------------
+    def _update_write_mode(self) -> None:
+        hi = max(1, int(self.queue_depth * WRITE_HI))
+        lo = max(0, int(self.queue_depth * WRITE_LO))
+        if self._write_mode:
+            if len(self.write_q) <= lo and self.read_q:
+                self._write_mode = False
+        else:
+            if len(self.write_q) >= hi or (not self.read_q and self.write_q):
+                self._write_mode = True
+
+    def _next_startable_fim(self) -> int | None:
+        """Oldest queued FIM request whose bank has no active program."""
+        seen: set[tuple[int, int]] = set()
+        for index, request in enumerate(self.fim_q):
+            key = (request.rank, request.bank)
+            if key in self._programs or key in seen:
+                seen.add(key)
+                continue
+            return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Regular read/write service
+    # ------------------------------------------------------------------
+    def _best_regular(self, queue: list[Request],
+                      now: int) -> tuple[int, object] | None:
+        """First-Ready FCFS over the whole queue.
+
+        Every queued request contributes its next needed command (column
+        for a row hit, ACT for a closed bank, PRE for a conflict) with
+        its earliest legal cycle; the scheduler picks the earliest-ready
+        command, preferring row hits and then age on ties.  Scanning the
+        whole queue is what lets preparation commands of different banks
+        overlap -- the essence of bank-level parallelism.
+        """
+        if not queue:
+            return None
+        timing = self.timing
+        best_col: tuple[int, int, int, object] | None = None
+        best_prep: tuple[int, int, object] | None = None
+        touched_banks: set[tuple[int, int]] = set()
+        for index, request in enumerate(queue):
+            key = (request.rank, request.bank)
+            if key in self._programs:
+                continue  # bank busy with a FIM sequence
+            rank = self.ranks[request.rank]
+            bank = rank.banks[request.bank]
+            if bank.open_row == request.row:
+                is_read = request.kind is not RequestType.WRITE
+                kind = CommandType.RD if is_read else CommandType.WR
+                cycle = max(now, request.arrival,
+                            rank.earliest(kind, request.bank))
+                # Rank the hit by when its data could actually move:
+                # this batches same-rank transfers (avoiding tRTRS) and
+                # is what a bus-aware controller optimises for.
+                lead = timing.tCL if is_read else timing.tCWL
+                data = self.bus.earliest_data_start(request.rank,
+                                                    cycle + lead, is_read)
+                candidate = (data, cycle, index,
+                             ("column", queue, index))
+                if best_col is None or candidate[:3] < best_col[:3]:
+                    best_col = candidate
+            elif key in touched_banks:
+                # An older request already owns this bank's next
+                # preparation command; do not reorder behind it.
+                continue
+            elif bank.open_row is None:
+                cycle = max(now, request.arrival,
+                            rank.earliest(CommandType.ACT, request.bank))
+                if best_prep is None or (cycle, index) < best_prep[:2]:
+                    best_prep = (cycle, index, ("act", queue, index))
+            else:
+                cycle = max(now, request.arrival,
+                            rank.earliest(CommandType.PRE, request.bank))
+                if best_prep is None or (cycle, index) < best_prep[:2]:
+                    best_prep = (cycle, index, ("pre", queue, index))
+            touched_banks.add(key)
+        if best_col is None and best_prep is None:
+            return None
+        if best_col is None:
+            return best_prep[0], best_prep[2]
+        if best_prep is None or best_prep[0] >= best_col[1]:
+            return best_col[1], best_col[3]
+        # A preparation command fits in an earlier command-bus slot
+        # without delaying the chosen column command.
+        return best_prep[0], best_prep[2]
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+    def _refresh_action(self, rank_id: int, now: int) -> tuple[int, object]:
+        rank = self.ranks[rank_id]
+        for bank_id, bank in enumerate(rank.banks):
+            if bank.open_row is not None and (rank_id, bank_id) not in self._programs:
+                cycle = max(now, rank.earliest(CommandType.PRE, bank_id))
+                return cycle, ("pre_for_ref", rank_id, bank_id)
+        if not rank.all_banks_closed():
+            # Remaining open banks belong to FIM programs; wait for them.
+            return _NEVER, ("noop",)
+        return max(now, rank.earliest_refresh()), ("refresh", rank_id)
+
+    # ------------------------------------------------------------------
+    # FIM sequencing
+    # ------------------------------------------------------------------
+    def _start_fim(self, index: int) -> None:
+        request = self.fim_q.pop(index)
+        key = (request.rank, request.bank)
+        rank = self.ranks[request.rank]
+        bank = rank.banks[request.bank]
+        steps: list[_FimStep] = []
+        physical = self._physical_row.get(key, bank.open_row)
+        if physical != request.row:
+            if bank.open_row is not None:
+                steps.append(_FimStep(CommandType.PRE, virtual=False))
+            steps.append(_FimStep(CommandType.ACT, virtual=False))
+        for burst in range(self.fim_offset_bursts):
+            steps.append(_FimStep(CommandType.WR, virtual=True, bursts=1,
+                                  column=0))
+        if request.kind is RequestType.SCATTER:
+            for burst in range(self.fim_data_bursts):
+                steps.append(_FimStep(CommandType.WR, virtual=True,
+                                      bursts=1, column=8))
+        steps.append(_FimStep(CommandType.PRE, virtual=True))
+        steps.append(_FimStep(CommandType.ACT, virtual=True))
+        if request.kind is RequestType.GATHER:
+            for burst in range(self.fim_data_bursts):
+                steps.append(_FimStep(CommandType.RD, virtual=True,
+                                      bursts=1, column=8,
+                                      window_bound=True))
+        else:
+            # Dummy trigger write keeping the activation cadence.
+            steps.append(_FimStep(CommandType.WR, virtual=True, bursts=1,
+                                  column=0, window_bound=True))
+        self._programs[key] = _FimProgram(request=request, steps=steps)
+
+    def _fim_step_earliest(self, key: tuple[int, int],
+                           program: _FimProgram, now: int) -> int:
+        rank_id, bank_id = key
+        rank = self.ranks[rank_id]
+        step = program.current
+        cycle = max(now, rank.earliest(step.kind, bank_id))
+        if step.window_bound and program.offsets_ready >= 0:
+            # Sec. VI feasibility: the internal scatter/gather needs
+            # items x tCCD_L after the buffer payload lands.
+            window = self.fim_items * self.timing.tCCD_L
+            cycle = max(cycle, program.offsets_ready + window)
+        return cycle
+
+    # ------------------------------------------------------------------
+    # Command execution
+    # ------------------------------------------------------------------
+    def _execute(self, action, cycle: int) -> None:
+        tag = action[0]
+        if tag == "fim_start":
+            self._start_fim(action[1])
+            return
+        if tag == "refresh":
+            rank_id = action[1]
+            self.ranks[rank_id].issue(CommandType.REF, 0, cycle)
+            self._record(Command(cycle, CommandType.REF, rank_id, 0))
+            self.stats.refreshes += 1
+            return
+        if tag in ("pre", "pre_for_ref"):
+            if tag == "pre":
+                _, queue, index = action
+                request = queue[index]
+                rank_id, bank_id = request.rank, request.bank
+            else:
+                _, rank_id, bank_id = action
+            self.ranks[rank_id].issue(CommandType.PRE, bank_id, cycle)
+            self._physical_row[(rank_id, bank_id)] = None
+            self._record(Command(cycle, CommandType.PRE, rank_id, bank_id))
+            self.stats.pres += 1
+            return
+        if tag == "act":
+            _, queue, index = action
+            request = queue[index]
+            rank = self.ranks[request.rank]
+            rank.issue(CommandType.ACT, request.bank, cycle, row=request.row)
+            self._physical_row[(request.rank, request.bank)] = request.row
+            self._record(Command(cycle, CommandType.ACT, request.rank,
+                                 request.bank, row=request.row,
+                                 req_id=request.req_id))
+            self.stats.acts += 1
+            return
+        if tag == "column":
+            _, queue, index = action
+            request = queue.pop(index)
+            self._issue_column(request, cycle)
+            return
+        if tag == "fim":
+            self._issue_fim_step(action[1], cycle)
+            return
+        raise ValueError(f"unknown action {tag!r}")
+
+    def _issue_column(self, request: Request, cycle: int) -> None:
+        timing = self.timing
+        rank = self.ranks[request.rank]
+        is_read = request.kind is RequestType.READ
+        kind = CommandType.RD if is_read else CommandType.WR
+        lead = timing.tCL if is_read else timing.tCWL
+        start = self.bus.earliest_data_start(request.rank, cycle + lead,
+                                             is_read)
+        self.bus.reserve(request.rank, start, timing.tBL, is_read)
+        rank.issue(kind, request.bank, cycle, data_end=start + timing.tBL)
+        if request.issue_cycle < 0:
+            request.issue_cycle = cycle
+        request.finish_cycle = start + timing.tBL
+        self.finished.append(request)
+        self.stats.reads += is_read
+        self.stats.writes += not is_read
+        self.stats.total_latency += request.latency
+        self.stats.finished_requests += 1
+        self._record(Command(cycle, kind, request.rank, request.bank,
+                             row=request.row, column=request.column,
+                             req_id=request.req_id, data_clocks=timing.tBL,
+                             data_start=start))
+
+    def _issue_fim_step(self, key: tuple[int, int], cycle: int) -> None:
+        program = self._programs[key]
+        request = program.request
+        step = program.current
+        rank_id, bank_id = key
+        rank = self.ranks[rank_id]
+        timing = self.timing
+        row = request.row if step.kind is CommandType.ACT else None
+        if request.issue_cycle < 0:
+            request.issue_cycle = cycle
+        data_start = 0
+        data_end = None
+        if step.bursts:
+            is_read = step.kind is CommandType.RD
+            lead = timing.tCL if is_read else timing.tCWL
+            data_start = self.bus.earliest_data_start(rank_id, cycle + lead,
+                                                      is_read)
+            self.bus.reserve(rank_id, data_start, timing.tBL * step.bursts,
+                             is_read)
+            data_end = data_start + timing.tBL * step.bursts
+            self.stats.reads += is_read
+            self.stats.writes += not is_read
+        rank.issue(step.kind, bank_id, cycle, row=row, data_end=data_end)
+        if (step.virtual and step.kind is CommandType.WR and step.bursts
+                and not step.window_bound):
+            # Window anchor: the in-bank operation may start only after
+            # the last buffer payload (offsets, then scatter data) lands.
+            program.offsets_ready = max(
+                program.offsets_ready, data_start + timing.tBL * step.bursts
+            )
+        if not step.virtual:
+            if step.kind is CommandType.ACT:
+                self._physical_row[key] = request.row
+                self.stats.acts += 1
+            elif step.kind is CommandType.PRE:
+                self._physical_row[key] = None
+                self.stats.pres += 1
+        self._record(Command(cycle, step.kind, rank_id, bank_id,
+                             row=row, column=step.column or None,
+                             req_id=request.req_id, virtual=step.virtual,
+                             data_clocks=timing.tBL * step.bursts,
+                             data_start=data_start))
+        program.next_step += 1
+        if program.finished:
+            del self._programs[key]
+            # The chip no-ops the virtual PRE/ACT: the physical row
+            # survives, and the controller may row-hit it afterwards.
+            bank = rank.banks[bank_id]
+            bank.open_row = self._physical_row.get(key, request.row)
+            end = data_start + timing.tBL * step.bursts if step.bursts \
+                else cycle
+            request.finish_cycle = end
+            self.finished.append(request)
+            if request.kind is RequestType.GATHER:
+                self.stats.gathers += 1
+            else:
+                self.stats.scatters += 1
+            self.stats.total_latency += request.latency
+            self.stats.finished_requests += 1
+
+    # ------------------------------------------------------------------
+    def _record(self, command: Command) -> None:
+        self.trace.append(command)

@@ -1,0 +1,196 @@
+"""Multi-channel command-level engine: request streams in, cycles out.
+
+Channels have independent command/address/data buses (Sec. II-C), so
+each channel controller simulates independently with event-skipping:
+the clock jumps straight to the next cycle at which any command can
+issue.  The run finishes when every request has completed; total time is
+the slowest channel's finish cycle.
+
+This engine is the high-fidelity counterpart of the fast phase
+evaluator in :mod:`repro.dram.system`; `repro.dram.engine.xval`
+cross-validates the two on shared workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.address import AddressMapper
+from repro.dram.engine.commands import (
+    Command,
+    EngineStats,
+    Request,
+    RequestType,
+)
+from repro.dram.engine.controller import ChannelController
+from repro.dram.engine.timing import TimingTable, timing_from_spec
+from repro.dram.spec import DRAMConfig
+
+#: safety valve: one channel may not run longer than this many cycles
+MAX_CYCLES = 1 << 34
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine run."""
+
+    timing: TimingTable
+    cycles: int
+    stats: EngineStats
+    requests: list[Request]
+    #: per-channel command traces (sorted by cycle within a channel)
+    traces: list[list[Command]] = field(default_factory=list)
+
+    @property
+    def time_ns(self) -> float:
+        """Run duration in nanoseconds."""
+        return self.timing.ns(self.cycles)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        """Mean request latency in nanoseconds."""
+        return self.timing.ns(self.stats.mean_latency)
+
+    def bandwidth_gbps(self, bytes_moved: float) -> float:
+        """Achieved bandwidth for a caller-supplied byte count."""
+        if self.cycles == 0:
+            return 0.0
+        return bytes_moved / self.time_ns
+
+
+class DRAMEngine:
+    """Command-level simulation of one :class:`DRAMConfig` system."""
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        queue_depth: int = 32,
+        refresh_enabled: bool = True,
+    ) -> None:
+        self.config = config
+        self.timing = timing_from_spec(config.spec)
+        self.mapper = AddressMapper(config)
+        self.queue_depth = queue_depth
+        self.refresh_enabled = refresh_enabled
+
+    # ------------------------------------------------------------------
+    def requests_from_addresses(
+        self,
+        addrs: np.ndarray,
+        is_write: np.ndarray | None = None,
+        arrivals: np.ndarray | None = None,
+    ) -> tuple[list[Request], np.ndarray]:
+        """Decode byte addresses into requests plus their channel route."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if is_write is None:
+            is_write = np.zeros(addrs.size, dtype=bool)
+        if arrivals is None:
+            arrivals = np.zeros(addrs.size, dtype=np.int64)
+        channel, rank, bank, row, column = self.mapper.decode_many(addrs)
+        requests = []
+        for i in range(addrs.size):
+            kind = RequestType.WRITE if is_write[i] else RequestType.READ
+            requests.append(Request(
+                kind=kind,
+                rank=int(rank[i]),
+                bank=int(bank[i]),
+                row=int(row[i]),
+                column=int(column[i]),
+                arrival=int(arrivals[i]),
+                req_id=i,
+            ))
+        return requests, channel
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        requests: list[Request],
+        channels: np.ndarray | None = None,
+    ) -> EngineResult:
+        """Simulate to completion.
+
+        Args:
+            requests: the request list (arrival cycles respected).
+            channels: per-request channel index; defaults to channel 0.
+        """
+        n_channels = self.config.channels
+        controllers = [
+            ChannelController(
+                self.timing,
+                ranks=self.config.ranks,
+                channel=c,
+                queue_depth=self.queue_depth,
+                fim_items=self.config.fim_items_per_op,
+                fim_offset_bursts=self.config.fim_offset_bursts,
+                fim_data_bursts=self.config.fim_data_bursts,
+                refresh_enabled=self.refresh_enabled,
+            )
+            for c in range(n_channels)
+        ]
+        per_channel: list[list[Request]] = [[] for _ in range(n_channels)]
+        for i, request in enumerate(requests):
+            channel = int(channels[i]) if channels is not None else 0
+            per_channel[channel].append(request)
+
+        finish = 0
+        stats = EngineStats()
+        for controller, queue in zip(controllers, per_channel):
+            last = self._run_channel(controller, queue)
+            finish = max(finish, last)
+            self._merge_stats(stats, controller.stats)
+            stats.data_bus_clocks[controller.channel] = (
+                controller.bus.busy_clocks
+            )
+        stats.cycles = finish
+        return EngineResult(
+            timing=self.timing,
+            cycles=finish,
+            stats=stats,
+            requests=requests,
+            traces=[c.trace for c in controllers],
+        )
+
+    # ------------------------------------------------------------------
+    def _run_channel(self, controller: ChannelController,
+                     queue: list[Request]) -> int:
+        """Feed one channel's requests through its controller."""
+        queue = sorted(queue, key=lambda r: r.arrival)
+        next_new = 0
+        now = 0
+        finish = 0
+        while next_new < len(queue) or controller.pending:
+            while (next_new < len(queue)
+                    and queue[next_new].arrival <= now
+                    and controller.can_accept(queue[next_new].kind)):
+                controller.enqueue(queue[next_new])
+                next_new += 1
+            next_cycle, issued = controller.step(now)
+            if issued:
+                now = next_cycle
+            else:
+                # Idle: jump to the next request arrival or ready cycle.
+                jump = next_cycle
+                if next_new < len(queue):
+                    jump = min(jump, max(now + 1, queue[next_new].arrival))
+                if jump <= now:
+                    jump = now + 1
+                now = jump
+            if now > MAX_CYCLES:
+                raise RuntimeError("engine exceeded cycle budget")
+        for request in controller.finished:
+            finish = max(finish, request.finish_cycle)
+        return finish
+
+    @staticmethod
+    def _merge_stats(total: EngineStats, part: EngineStats) -> None:
+        total.acts += part.acts
+        total.pres += part.pres
+        total.reads += part.reads
+        total.writes += part.writes
+        total.refreshes += part.refreshes
+        total.gathers += part.gathers
+        total.scatters += part.scatters
+        total.total_latency += part.total_latency
+        total.finished_requests += part.finished_requests

@@ -1,0 +1,208 @@
+"""Per-bank and per-rank timing state machines.
+
+Each bank tracks its open row and the earliest cycle at which each
+command type may legally issue; each rank adds the cross-bank
+constraints (tRRD, tFAW, bank-group-aware tCCD/tWTR, refresh).  The
+controller consults ``earliest(...)`` before issuing and calls
+``issue(...)`` afterwards, which rolls the affected windows forward --
+the same structure Ramulator uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.dram.engine.commands import CommandType
+from repro.dram.engine.timing import TimingTable
+
+#: effectively "never constrained yet"
+_PAST = -(1 << 60)
+
+
+@dataclass
+class BankState:
+    """Timing state of one bank."""
+
+    open_row: int | None = None
+    next_act: int = 0
+    next_pre: int = 0
+    next_rd: int = 0
+    next_wr: int = 0
+    #: cycle of the last ACT (to honour tRAS on PRE)
+    last_act: int = _PAST
+
+    def earliest(self, kind: CommandType) -> int:
+        """Earliest legal issue cycle for ``kind`` on this bank."""
+        if kind is CommandType.ACT:
+            return self.next_act
+        if kind is CommandType.PRE:
+            return self.next_pre
+        if kind is CommandType.RD:
+            return self.next_rd
+        if kind is CommandType.WR:
+            return self.next_wr
+        raise ValueError(f"bank-level command expected, got {kind}")
+
+
+class RankState:
+    """Timing state of one rank: banks plus cross-bank windows."""
+
+    def __init__(self, timing: TimingTable) -> None:
+        self.timing = timing
+        self.banks = [BankState() for _ in range(timing.banks_per_rank)]
+        #: last ACT cycle anywhere in the rank, per bank group
+        self._last_act_group = [_PAST] * timing.bank_groups
+        self._last_act_rank = _PAST
+        #: issue cycles of recent ACTs for the tFAW sliding window
+        self._act_window: deque[int] = deque(maxlen=4)
+        #: last column command cycle, per group and rank-wide
+        self._last_col_group = [_PAST] * timing.bank_groups
+        self._last_col_rank = _PAST
+        #: end of the last write data burst, per group and rank-wide
+        self._last_wr_end_group = [_PAST] * timing.bank_groups
+        self._last_wr_end_rank = _PAST
+        #: end of the last read data burst (for write-after-read turnaround)
+        self._last_rd_end_rank = _PAST
+        #: rank blocked until this cycle by refresh
+        self.refresh_until = 0
+        self.next_refresh_due = timing.tREFI
+
+    # ------------------------------------------------------------------
+    def group_of(self, bank: int) -> int:
+        """Bank-group index of a rank-local bank id."""
+        return bank // self.timing.banks_per_group
+
+    def all_banks_closed(self) -> bool:
+        """Whether every bank of the rank is precharged."""
+        return all(b.open_row is None for b in self.banks)
+
+    # ------------------------------------------------------------------
+    def earliest(self, kind: CommandType, bank: int) -> int:
+        """Earliest legal issue cycle for ``kind`` on ``bank``."""
+        t = self.timing
+        state = self.banks[bank]
+        bound = max(state.earliest(kind), self.refresh_until)
+        if kind is CommandType.ACT:
+            group = self.group_of(bank)
+            bound = max(
+                bound,
+                self._last_act_rank + t.tRRD_S,
+                self._last_act_group[group] + t.tRRD_L,
+            )
+            if len(self._act_window) == 4:
+                bound = max(bound, self._act_window[0] + t.tFAW)
+        elif kind in (CommandType.RD, CommandType.WR):
+            group = self.group_of(bank)
+            bound = max(
+                bound,
+                self._last_col_rank + t.tCCD_S,
+                self._last_col_group[group] + t.tCCD_L,
+            )
+            if kind is CommandType.RD:
+                # Write-to-read turnaround from the end of write data.
+                bound = max(
+                    bound,
+                    self._last_wr_end_rank + t.tWTR_S,
+                    self._last_wr_end_group[group] + t.tWTR_L,
+                )
+            else:
+                # Read-to-write: data-bus direction turnaround; the bus
+                # model enforces occupancy, this adds the switch gap.
+                bound = max(bound, self._last_rd_end_rank + 1)
+        return bound
+
+    def earliest_refresh(self) -> int:
+        """Refresh needs every bank precharged and all tRP elapsed."""
+        bound = max(self.refresh_until, self.next_refresh_due)
+        for bank in self.banks:
+            bound = max(bound, bank.next_act)
+        return bound
+
+    # ------------------------------------------------------------------
+    def issue(self, kind: CommandType, bank: int, cycle: int,
+              row: int | None = None, data_end: int | None = None) -> None:
+        """Record an issued command and roll the timing windows.
+
+        ``data_end`` is the actual last data-bus clock of a RD/WR (which
+        bus contention may push past the nominal CAS-latency position);
+        recovery windows (tWR, tWTR, turnarounds) anchor on it.
+        """
+        t = self.timing
+        state = self.banks[bank]
+        group = self.group_of(bank)
+        if kind is CommandType.ACT:
+            state.open_row = row
+            state.last_act = cycle
+            state.next_act = cycle + t.tRC
+            state.next_pre = cycle + t.tRAS
+            state.next_rd = cycle + t.tRCD
+            state.next_wr = cycle + t.tRCD
+            self._last_act_rank = cycle
+            self._last_act_group[group] = cycle
+            self._act_window.append(cycle)
+        elif kind is CommandType.PRE:
+            state.open_row = None
+            state.next_act = max(state.next_act, cycle + t.tRP)
+        elif kind is CommandType.RD:
+            self._last_col_rank = cycle
+            self._last_col_group[group] = cycle
+            if data_end is None:
+                data_end = cycle + t.tCL + t.tBL
+            self._last_rd_end_rank = max(self._last_rd_end_rank, data_end)
+            # RD -> PRE needs tRTP.
+            state.next_pre = max(state.next_pre, cycle + t.tRTP)
+        elif kind is CommandType.WR:
+            self._last_col_rank = cycle
+            self._last_col_group[group] = cycle
+            if data_end is None:
+                data_end = cycle + t.tCWL + t.tBL
+            self._last_wr_end_rank = max(self._last_wr_end_rank, data_end)
+            self._last_wr_end_group[group] = max(
+                self._last_wr_end_group[group], data_end
+            )
+            # Write recovery: data end -> PRE.
+            state.next_pre = max(state.next_pre, data_end + t.tWR)
+        elif kind is CommandType.REF:
+            self.refresh_until = cycle + t.tRFC
+            self.next_refresh_due += t.tREFI
+            for b in self.banks:
+                b.next_act = max(b.next_act, self.refresh_until)
+        else:
+            raise ValueError(f"unhandled command {kind}")
+
+
+@dataclass
+class DataBus:
+    """Shared per-channel data bus: one transfer at a time.
+
+    Tracks the cycle up to which the bus is reserved and which rank last
+    drove it (a rank switch costs tRTRS).
+    """
+
+    timing: TimingTable
+    busy_until: int = 0
+    last_rank: int = -1
+    busy_clocks: int = 0
+    _last_dir_read: bool = True
+
+    def earliest_data_start(self, rank: int, cycle_data_start: int,
+                            is_read: bool) -> int:
+        """Earliest start for a transfer wanting to begin at the given
+        cycle, honouring occupancy and rank/direction switches."""
+        start = max(cycle_data_start, self.busy_until)
+        if self.last_rank >= 0 and rank != self.last_rank:
+            start = max(start, self.busy_until + self.timing.tRTRS)
+        if self._last_dir_read != is_read:
+            start = max(start, self.busy_until + 1)
+        return start
+
+    def reserve(self, rank: int, start: int, clocks: int,
+                is_read: bool) -> None:
+        """Book the bus for one transfer starting at ``start``."""
+        if start < self.busy_until:
+            raise ValueError("data bus double-booked")
+        self.busy_until = start + clocks
+        self.busy_clocks += clocks
+        self.last_rank = rank
+        self._last_dir_read = is_read

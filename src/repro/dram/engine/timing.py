@@ -1,0 +1,196 @@
+"""Integer-cycle JEDEC timing tables for the command-level engine.
+
+The fast phase evaluator (:mod:`repro.dram.system`) works in nanoseconds
+and only needs the handful of parameters that dominate throughput.  The
+command-level engine replays *every* command on a clock, so it carries
+the full constraint set in integer nCK units, the way a real controller
+(and Ramulator, the paper's substrate) does:
+
+===========  =============================================================
+parameter    constraint
+===========  =============================================================
+tRCD         ACT -> first RD/WR to the same bank
+tRP          PRE -> next ACT to the same bank
+tRAS         ACT -> PRE to the same bank
+tRC          ACT -> next ACT to the same bank (tRAS + tRP)
+tCL / tCWL   RD / WR command -> first data beat
+tBL          data-bus beats of one burst, in clocks
+tCCD_S/L     RD/WR -> RD/WR, different / same bank group
+tRRD_S/L     ACT -> ACT, different / same bank group
+tFAW         window in which at most four ACTs may issue per rank
+tWR          end of write data -> PRE (write recovery)
+tWTR_S/L     end of write data -> RD command, different / same bank group
+tRTP         RD command -> PRE
+tREFI        average interval between refresh commands
+tRFC         refresh cycle time (rank blocked)
+tRTRS        rank-to-rank data-bus switch penalty
+===========  =============================================================
+
+Values follow the same grades as :mod:`repro.dram.spec` (DDR4-2400R,
+LPDDR4-3200, GDDR5-6000, HBM2) with datasheet-typical constants for the
+parameters the coarse spec does not carry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dram.spec import DeviceSpec
+
+
+def _nck(time_ns: float, tck_ns: float) -> int:
+    """Round a nanosecond constraint up to whole clocks (JEDEC rounding)."""
+    return max(0, math.ceil(time_ns / tck_ns - 1e-9))
+
+
+@dataclass(frozen=True)
+class TimingTable:
+    """All timing constraints of one device grade, in integer clocks.
+
+    Attributes:
+        tck_ns: command-clock period (data toggles at twice this rate).
+        bank_groups: bank groups per rank (1 disables the _S/_L split).
+        banks_per_group: banks inside one group.
+    """
+
+    name: str
+    tck_ns: float
+    bank_groups: int
+    banks_per_group: int
+    tRCD: int
+    tRP: int
+    tRAS: int
+    tCL: int
+    tCWL: int
+    tBL: int
+    tCCD_S: int
+    tCCD_L: int
+    tRRD_S: int
+    tRRD_L: int
+    tFAW: int
+    tWR: int
+    tWTR_S: int
+    tWTR_L: int
+    tRTP: int
+    tREFI: int
+    tRFC: int
+    tRTRS: int = 2
+
+    # ------------------------------------------------------------------
+    @property
+    def tRC(self) -> int:
+        """Same-bank ACT-to-ACT interval (tRAS + tRP)."""
+        return self.tRAS + self.tRP
+
+    @property
+    def banks_per_rank(self) -> int:
+        """Total banks per rank across all bank groups."""
+        return self.bank_groups * self.banks_per_group
+
+    def same_group(self, bank_a: int, bank_b: int) -> bool:
+        """Whether two bank ids of one rank share a bank group."""
+        return bank_a // self.banks_per_group == bank_b // self.banks_per_group
+
+    def ccd(self, same_group: bool) -> int:
+        """Column-to-column gap for the given bank-group relation."""
+        return self.tCCD_L if same_group else self.tCCD_S
+
+    def rrd(self, same_group: bool) -> int:
+        """ACT-to-ACT gap for the given bank-group relation."""
+        return self.tRRD_L if same_group else self.tRRD_S
+
+    def wtr(self, same_group: bool) -> int:
+        """Write-to-read turnaround for the given group relation."""
+        return self.tWTR_L if same_group else self.tWTR_S
+
+    def ns(self, cycles: int | float) -> float:
+        """Convert clocks to nanoseconds."""
+        return cycles * self.tck_ns
+
+    def cycles(self, time_ns: float) -> int:
+        """Convert nanoseconds to whole clocks, rounding up."""
+        return _nck(time_ns, self.tck_ns)
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``ValueError``."""
+        if self.tck_ns <= 0:
+            raise ValueError("tck_ns must be positive")
+        if self.bank_groups < 1 or self.banks_per_group < 1:
+            raise ValueError("bank organisation must be positive")
+        if self.tCCD_S > self.tCCD_L:
+            raise ValueError("tCCD_S must not exceed tCCD_L")
+        if self.tRRD_S > self.tRRD_L:
+            raise ValueError("tRRD_S must not exceed tRRD_L")
+        if self.tRAS < self.tRCD:
+            raise ValueError("tRAS must cover tRCD")
+        if self.tFAW < self.tRRD_S:
+            raise ValueError("tFAW must cover at least one tRRD_S")
+        for name in ("tRCD", "tRP", "tCL", "tCWL", "tBL", "tREFI", "tRFC"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+# ---------------------------------------------------------------------------
+# Per-family datasheet constants for parameters the coarse DeviceSpec
+# does not carry (ns unless marked nCK).
+# ---------------------------------------------------------------------------
+_FAMILY_EXTRAS = {
+    # tRRD_S, tRRD_L, tFAW, tWTR_S, tWTR_L, tRTP (ns); groups
+    "DDR4": dict(tRRD_S=3.3, tRRD_L=4.9, tFAW=21.0, tWTR_S=2.5,
+                 tWTR_L=7.5, tRTP=7.5, tREFI=7800.0, tRFC=350.0,
+                 bank_groups=4),
+    "LPDDR4": dict(tRRD_S=7.5, tRRD_L=7.5, tFAW=30.0, tWTR_S=10.0,
+                   tWTR_L=10.0, tRTP=7.5, tREFI=3900.0, tRFC=280.0,
+                   bank_groups=1),
+    "GDDR5": dict(tRRD_S=5.0, tRRD_L=5.0, tFAW=23.0, tWTR_S=5.0,
+                  tWTR_L=7.5, tRTP=2.0, tREFI=1900.0, tRFC=110.0,
+                  bank_groups=4),
+    "HBM": dict(tRRD_S=2.0, tRRD_L=4.0, tFAW=16.0, tWTR_S=2.5,
+                tWTR_L=7.5, tRTP=7.5, tREFI=3900.0, tRFC=260.0,
+                bank_groups=4),
+}
+
+
+def timing_from_spec(spec: DeviceSpec) -> TimingTable:
+    """Derive the full integer-cycle table for one device grade.
+
+    Core timings come from the :class:`DeviceSpec` (the same numbers the
+    phase evaluator uses, so both models agree on the dominant terms);
+    the remaining constraints use datasheet-typical family constants.
+    """
+    extras = _FAMILY_EXTRAS.get(spec.family)
+    if extras is None:
+        raise ValueError(f"no engine timing data for family {spec.family!r}")
+    tck = 2.0 / spec.data_rate_gtps
+    bank_groups = min(extras["bank_groups"], spec.banks_per_rank)
+    banks_per_group = spec.banks_per_rank // bank_groups
+    beats = spec.burst_bytes // spec.bus_bytes
+    tccd_l = _nck(spec.tCCD, tck)
+    table = TimingTable(
+        name=spec.name,
+        tck_ns=tck,
+        bank_groups=bank_groups,
+        banks_per_group=banks_per_group,
+        tRCD=_nck(spec.tRCD, tck),
+        tRP=_nck(spec.tRP, tck),
+        tRAS=_nck(spec.tRAS, tck),
+        tCL=_nck(spec.tCL, tck),
+        tCWL=max(1, _nck(spec.tCL, tck) - 2),
+        tBL=max(1, beats // 2),
+        # tCCD_S is the back-to-back burst floor (= tBL, e.g. 4 nCK for
+        # DDR4 BL8); tCCD_L is the same-bank-group gap from the spec.
+        tCCD_S=min(max(1, beats // 2), tccd_l),
+        tCCD_L=tccd_l,
+        tRRD_S=_nck(extras["tRRD_S"], tck),
+        tRRD_L=_nck(extras["tRRD_L"], tck),
+        tFAW=_nck(extras["tFAW"], tck),
+        tWR=_nck(spec.tWR, tck),
+        tWTR_S=_nck(extras["tWTR_S"], tck),
+        tWTR_L=_nck(extras["tWTR_L"], tck),
+        tRTP=_nck(extras["tRTP"], tck),
+        tREFI=_nck(extras["tREFI"], tck),
+        tRFC=_nck(extras["tRFC"], tck),
+    )
+    table.validate()
+    return table

@@ -1,0 +1,136 @@
+"""Cross-validation of the two DRAM models.
+
+The figure sweeps run on the fast analytic phase evaluator
+(:class:`repro.dram.system.DRAMModel`); the command-level engine exists
+to show that the analytic shortcuts (row episodes, bus occupancy,
+FIM window accounting) do not distort the quantities the paper's
+conclusions rest on.  This module runs identical workloads through both
+and reports the ratio of predicted durations plus the engine-side
+command counts.
+
+Agreement is expected to be loose -- the engine serialises the command
+bus and pays CAS latencies the throughput model hides -- but *stable*:
+the ratio must stay within a band across strides, and the FIM-vs-
+conventional speedup (the quantity Fig. 9 reports) must agree much more
+tightly, because model constants cancel in the ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.engine.engine import DRAMEngine
+from repro.dram.engine.workloads import (
+    conventional_requests,
+    fim_requests,
+    strided_addresses,
+)
+from repro.dram.spec import DRAMConfig
+from repro.dram.system import DRAMModel, FimOp
+
+
+@dataclass(frozen=True)
+class XValPoint:
+    """One workload compared across models."""
+
+    label: str
+    engine_ns: float
+    analytic_ns: float
+    engine_commands: int
+
+    @property
+    def ratio(self) -> float:
+        """engine / analytic duration (1.0 = perfect agreement)."""
+        if self.analytic_ns == 0:
+            return float("inf")
+        return self.engine_ns / self.analytic_ns
+
+
+def compare_conventional(
+    config: DRAMConfig,
+    addrs: np.ndarray,
+    is_write: np.ndarray | None = None,
+    label: str = "conventional",
+    refresh: bool = False,
+) -> XValPoint:
+    """Run burst requests through both models."""
+    engine = DRAMEngine(config, refresh_enabled=refresh)
+    requests, channels = conventional_requests(config, addrs, is_write)
+    result = engine.run(requests, channels)
+    analytic = DRAMModel(config)
+    burst = config.spec.burst_bytes
+    blocks = (np.asarray(addrs, dtype=np.int64) // burst) * burst
+    keep = np.ones(blocks.size, dtype=bool)
+    keep[1:] = blocks[1:] != blocks[:-1]
+    phase = analytic.phase(
+        addrs=blocks[keep],
+        is_write=None if is_write is None
+        else np.asarray(is_write, dtype=bool)[keep],
+    )
+    n_cmds = sum(len(t) for t in result.traces)
+    return XValPoint(label, result.time_ns, phase.time_ns, n_cmds)
+
+
+def compare_fim(
+    config: DRAMConfig,
+    addrs: np.ndarray,
+    scatter: bool = False,
+    label: str = "fim",
+    refresh: bool = False,
+) -> XValPoint:
+    """Run row-grouped FIM operations through both models."""
+    engine = DRAMEngine(config, refresh_enabled=refresh)
+    requests, channels = fim_requests(config, addrs, scatter=scatter)
+    result = engine.run(requests, channels)
+    analytic = DRAMModel(config)
+    ops = [
+        FimOp(
+            channel=int(channels[i]), rank=request.rank, bank=_global_bank(
+                config, int(channels[i]), request.rank, request.bank
+            ),
+            row=request.row, items=len(request.offsets),
+            is_scatter=scatter,
+        )
+        for i, request in enumerate(requests)
+    ]
+    phase = analytic.phase(fim_ops=ops)
+    n_cmds = sum(len(t) for t in result.traces)
+    return XValPoint(label, result.time_ns, phase.time_ns, n_cmds)
+
+
+def microbench_speedups(
+    config: DRAMConfig,
+    total_bytes: int,
+    strides: tuple[int, ...] = (4, 8, 16, 32),
+    single_row: bool = True,
+) -> list[dict]:
+    """Fig. 9 on the command-level engine: FIM speedup per stride.
+
+    Returns one row per stride with engine-measured conventional and
+    FIM durations and their ratio (the paper's speedup series).
+    """
+    rows = []
+    for stride in strides:
+        addrs = strided_addresses(config, total_bytes, stride, single_row)
+        conventional = compare_conventional(
+            config, addrs, label=f"stride{stride}-conv"
+        )
+        fim = compare_fim(config, addrs, label=f"stride{stride}-fim")
+        rows.append({
+            "stride": stride,
+            "conv_ns": conventional.engine_ns,
+            "fim_ns": fim.engine_ns,
+            "speedup": (conventional.engine_ns / fim.engine_ns
+                        if fim.engine_ns else float("inf")),
+            "conv_ratio_vs_analytic": conventional.ratio,
+            "fim_ratio_vs_analytic": fim.ratio,
+        })
+    return rows
+
+
+def _global_bank(config: DRAMConfig, channel: int, rank: int,
+                 bank: int) -> int:
+    per_rank = config.spec.banks_per_rank
+    return (channel * config.ranks + rank) * per_rank + bank

@@ -1,0 +1,28 @@
+"""Energy and area models (Sec. VII-F).
+
+Three analytic models mirroring the paper's methodology (Table I):
+
+- :mod:`repro.energy.cacti` -- a CACTI-7-style SRAM model giving per-access
+  energy, leakage and area for the caches and the collection-extended MSHR.
+- :mod:`repro.energy.dram_energy` -- DDR4 IDD-style energy: per-activation,
+  per-read/write burst, I/O driver energy (the dominant term, Fig. 14),
+  plus background/refresh power.
+- :mod:`repro.energy.area` -- accelerator die area and the DRAM overhead
+  budget with the paper's published component counts (126-transistor
+  internal controller, 0.135 % per 128-bit buffer, 4.36 % total).
+"""
+
+from repro.energy.cacti import SRAMModel
+from repro.energy.dram_energy import DRAMEnergyModel, EnergyBreakdown
+from repro.energy.accel_energy import AcceleratorEnergyModel, system_energy
+from repro.energy.area import accelerator_area_mm2, dram_fim_overhead
+
+__all__ = [
+    "SRAMModel",
+    "DRAMEnergyModel",
+    "EnergyBreakdown",
+    "AcceleratorEnergyModel",
+    "system_energy",
+    "accelerator_area_mm2",
+    "dram_fim_overhead",
+]

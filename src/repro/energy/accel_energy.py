@@ -1,0 +1,72 @@
+"""Accelerator-logic energy and full-system energy assembly (Fig. 14).
+
+The paper synthesises the accelerator RTL with OpenROAD at Nangate45
+scaled to 22 nm (Sec. VII-F) and reports that, compute being equal across
+systems, the accelerator's energy differences come mostly from static
+energy over the run duration.  The model here uses a per-edge dynamic
+energy for the PE/updater datapath plus a static power for the logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.base import SystemResult
+from repro.dram.spec import DRAMConfig
+from repro.energy.cacti import SRAMModel
+from repro.energy.dram_energy import DRAMEnergyModel, EnergyBreakdown
+
+#: per-edge Process+Reduce datapath energy (nJ) at 22 nm
+EDGE_OP_NJ = 0.015
+#: per-vertex Apply energy (nJ)
+APPLY_OP_NJ = 0.02
+#: accelerator logic static power (W), excluding SRAM
+LOGIC_STATIC_W = 0.25
+
+
+@dataclass(frozen=True)
+class AcceleratorEnergyModel:
+    """Dynamic + static energy of the accelerator logic."""
+
+    edge_op_nj: float = EDGE_OP_NJ
+    apply_op_nj: float = APPLY_OP_NJ
+    static_w: float = LOGIC_STATIC_W
+
+    def energy_nj(self, result: SystemResult) -> float:
+        dynamic = (
+            result.edges_processed * self.edge_op_nj
+            + result.vertex_applies * self.apply_op_nj
+        )
+        static = self.static_w * result.total_ns  # W * ns = nJ
+        return dynamic + static
+
+
+def system_energy(
+    result: SystemResult,
+    dram_config: DRAMConfig,
+    sequential_way_search: bool = False,
+) -> EnergyBreakdown:
+    """Assemble the Fig. 14 breakdown for one system run.
+
+    Args:
+        result: the run to account.
+        dram_config: the memory system it ran on.
+        sequential_way_search: True for Piccolo-cache, whose sequential
+            search probes ~1.5 ways on average instead of all 8
+            (Sec. V-A).
+    """
+    breakdown = DRAMEnergyModel(dram_config).energy(result.dram, result.total_ns)
+    breakdown.accelerator = AcceleratorEnergyModel().energy_nj(result)
+    if result.cache_accesses:
+        ways = 1.5 if sequential_way_search else 8.0
+        sram = SRAMModel(max(result.onchip_bytes, 64), ways_probed=ways)
+        breakdown.cache = sram.access_energy_nj(
+            result.cache_accesses
+        ) + sram.leakage_energy_nj(result.total_ns)
+    elif result.onchip_bytes:
+        # Scratchpad systems: every random access hits the SPM.
+        sram = SRAMModel(max(result.onchip_bytes, 64), ways_probed=1.0)
+        breakdown.cache = sram.access_energy_nj(
+            2.0 * result.edges_processed + 2.0 * result.vertex_applies
+        ) + sram.leakage_energy_nj(result.total_ns)
+    return breakdown

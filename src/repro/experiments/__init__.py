@@ -1,0 +1,6 @@
+"""Experiment harness: named configurations and figure runners."""
+
+from repro.experiments.config import ExperimentScale, DEFAULT_SCALE
+from repro.experiments.runner import run_system, speedup_table
+
+__all__ = ["ExperimentScale", "DEFAULT_SCALE", "run_system", "speedup_table"]

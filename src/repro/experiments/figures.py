@@ -1,0 +1,507 @@
+"""One runner per evaluation figure/table of the paper.
+
+Each ``figure_*`` function regenerates the corresponding figure's data as
+a list of row dicts (the benchmark harness prints them).  All runners are
+deterministic; dataset sizes and capacities come from
+:class:`~repro.experiments.config.ExperimentScale`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.accel.edge_centric import ECConventionalSystem, ECPiccoloSystem
+from repro.accel.pipeline import PipelineConfig
+from repro.accel.systems import SYSTEM_ORDER, make_system
+from repro.algorithms import ALGORITHM_ORDER
+from repro.cache.fine8b import EightByteLineCache
+from repro.cache.sectored import SectoredCache
+from repro.cache.variants import AmoebaCache, GraphfireCache, ScrabbleCache
+from repro.core.piccolo_cache import PiccoloCache
+from repro.dram.spec import DEVICES, DRAMConfig
+from repro.energy.accel_energy import system_energy
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.runner import run_system
+from repro.graph.datasets import REAL_WORLD, SYNTHETIC, load_dataset
+from repro.olap.queries import query_speedups
+from repro.utils.stats import geometric_mean
+from repro.validate import microbench
+
+BASELINE = "GraphDyns (Cache)"
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 -- motivational: useful vs unuseful traffic, non-tiling vs perfect
+# ---------------------------------------------------------------------------
+def figure_3(datasets: Sequence[str] = ("TW", "SW", "FS")) -> list[dict]:
+    rows = []
+    for dataset in datasets:
+        graph = load_dataset(dataset)
+        for mode in ("Non-Tiling", "Perfect Tiling"):
+            system = make_system(
+                BASELINE,
+                onchip_bytes=DEFAULT_SCALE.baseline_cache_bytes,
+                cache_ways=DEFAULT_SCALE.cache_ways,
+                tile_scale=1,
+            )
+            width = graph.num_vertices if mode == "Non-Tiling" else None
+            result = system.run(graph, "BFS", tile_width=width)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "mode": mode,
+                    "useful_pct": 100.0 * result.useful_fraction,
+                    "unuseful_pct": 100.0 * (1 - result.useful_fraction),
+                    "read_transactions": result.dram.read_bursts,
+                    "write_transactions": result.dram.write_bursts,
+                    "cache_hit_rate": result.cache_hit_rate,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 -- FPGA microbenchmark
+# ---------------------------------------------------------------------------
+def figure_9(total_bytes: int = 16 * 1024 * 1024) -> list[dict]:
+    rows = []
+    for result in microbench.sweep(total_bytes):
+        rows.append(
+            {
+                "layout": "single-row" if result.single_row else "multi-row",
+                "stride": result.stride_words,
+                "speedup": result.speedup,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 -- overall speedup over the six systems
+# ---------------------------------------------------------------------------
+def figure_10(
+    datasets: Sequence[str] = REAL_WORLD,
+    algorithms: Sequence[str] = ALGORITHM_ORDER,
+    systems: Sequence[str] = SYSTEM_ORDER,
+) -> list[dict]:
+    rows = []
+    speedups_by_system: dict[str, list[float]] = {s: [] for s in systems}
+    for algorithm in algorithms:
+        for dataset in datasets:
+            base = run_system(BASELINE, algorithm, dataset)
+            for system in systems:
+                result = (
+                    base if system == BASELINE
+                    else run_system(system, algorithm, dataset)
+                )
+                speedup = base.total_ns / result.total_ns
+                speedups_by_system[system].append(speedup)
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "dataset": dataset,
+                        "system": system,
+                        "speedup": speedup,
+                        "cycles": result.cycles,
+                    }
+                )
+    for system in systems:
+        rows.append(
+            {
+                "algorithm": "GM",
+                "dataset": "-",
+                "system": system,
+                "speedup": geometric_mean(speedups_by_system[system]),
+                "cycles": float("nan"),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 -- fine-grained cache designs on top of Piccolo-FIM
+# ---------------------------------------------------------------------------
+CACHE_DESIGNS = {
+    "Sectored": lambda size, scale: SectoredCache(size, ways=scale.cache_ways),
+    "Amoeba": lambda size, scale: AmoebaCache(size, ways=scale.cache_ways),
+    "Scrabble": lambda size, scale: ScrabbleCache(size, ways=scale.cache_ways),
+    "Graphfire": lambda size, scale: GraphfireCache(size, ways=scale.cache_ways),
+    "Piccolo (LRU)": lambda size, scale: PiccoloCache(
+        size, ways=scale.cache_ways, fg_tag_bits=scale.fg_tag_bits, policy="lru"
+    ),
+    "Piccolo (RRIP)": lambda size, scale: PiccoloCache(
+        size, ways=scale.cache_ways, fg_tag_bits=scale.fg_tag_bits, policy="rrip"
+    ),
+    "8B-Line": lambda size, scale: EightByteLineCache(size, ways=scale.cache_ways),
+}
+
+
+def figure_11(
+    datasets: Sequence[str] = REAL_WORLD,
+    algorithms: Sequence[str] = ALGORITHM_ORDER,
+    designs: Iterable[str] = tuple(CACHE_DESIGNS),
+    scale: ExperimentScale = DEFAULT_SCALE,
+) -> list[dict]:
+    rows = []
+    speedups: dict[str, list[float]] = {d: [] for d in designs}
+    for algorithm in algorithms:
+        for dataset in datasets:
+            base = run_system(BASELINE, algorithm, dataset)
+            for design in designs:
+                factory = CACHE_DESIGNS[design]
+                result = run_system(
+                    "Piccolo", algorithm, dataset,
+                    cache_factory=lambda size, _f=factory: _f(size, scale),
+                )
+                speedup = base.total_ns / result.total_ns
+                speedups[design].append(speedup)
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "dataset": dataset,
+                        "design": design,
+                        "speedup": speedup,
+                    }
+                )
+    for design in designs:
+        rows.append(
+            {
+                "algorithm": "GM",
+                "dataset": "-",
+                "design": design,
+                "speedup": geometric_mean(speedups[design]),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 -- normalized off-chip access breakdown
+# ---------------------------------------------------------------------------
+def figure_12(
+    datasets: Sequence[str] = REAL_WORLD,
+    algorithms: Sequence[str] = ALGORITHM_ORDER,
+) -> list[dict]:
+    rows = []
+    for algorithm in algorithms:
+        for dataset in datasets:
+            base = run_system(BASELINE, algorithm, dataset)
+            picc = run_system("Piccolo", algorithm, dataset)
+            base_total = base.dram.read_bursts + base.dram.write_bursts
+            for name, result in ((BASELINE, base), ("Piccolo", picc)):
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "dataset": dataset,
+                        "system": name,
+                        "read_norm": result.dram.read_bursts / base_total,
+                        "write_norm": result.dram.write_bursts / base_total,
+                        "total_norm": (
+                            result.dram.read_bursts + result.dram.write_bursts
+                        ) / base_total,
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 -- off-chip and internal bandwidth
+# ---------------------------------------------------------------------------
+def figure_13(
+    datasets: Sequence[str] = REAL_WORLD,
+    algorithms: Sequence[str] = ALGORITHM_ORDER,
+    systems: Sequence[str] = (BASELINE, "PIM", "Piccolo"),
+) -> list[dict]:
+    rows = []
+    for algorithm in algorithms:
+        for dataset in datasets:
+            for system in systems:
+                result = run_system(system, algorithm, dataset)
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "dataset": dataset,
+                        "system": system,
+                        "offchip_gbps": result.offchip_bandwidth_gbps,
+                        "internal_gbps": result.internal_bandwidth_gbps,
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 -- energy breakdown
+# ---------------------------------------------------------------------------
+def figure_14(
+    datasets: Sequence[str] = REAL_WORLD,
+    algorithms: Sequence[str] = ALGORITHM_ORDER,
+) -> list[dict]:
+    rows = []
+    config = DEFAULT_SCALE.dram()
+    for algorithm in algorithms:
+        for dataset in datasets:
+            base = run_system(BASELINE, algorithm, dataset)
+            picc = run_system("Piccolo", algorithm, dataset)
+            e_base = system_energy(base, config)
+            e_picc = system_energy(picc, config, sequential_way_search=True)
+            for name, bd in ((BASELINE, e_base), ("Piccolo", e_picc)):
+                row = {
+                    "algorithm": algorithm,
+                    "dataset": dataset,
+                    "system": name,
+                    "total_norm": bd.total / e_base.total,
+                }
+                row.update(
+                    {k: v / e_base.total for k, v in bd.as_dict().items()}
+                )
+                rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15 -- memory-type sensitivity (SW dataset)
+# ---------------------------------------------------------------------------
+MEMORY_TYPES = (
+    ("DDR4x4", "DDR4_2400_x4"),
+    ("DDR4x8", "DDR4_2400_x8"),
+    ("DDR4x16", "DDR4_2400_x16"),
+    ("LPDDR4", "LPDDR4_3200"),
+    ("GDDR5", "GDDR5_6000"),
+    ("HBM", "HBM2_2000"),
+)
+
+
+def figure_15(
+    algorithms: Sequence[str] = ALGORITHM_ORDER, dataset: str = "SW"
+) -> list[dict]:
+    rows = []
+    for algorithm in algorithms:
+        for label, device in MEMORY_TYPES:
+            config = DRAMConfig(spec=DEVICES[device], channels=1, ranks=4)
+            for system in (BASELINE, "Piccolo"):
+                result = run_system(
+                    system, algorithm, dataset, dram_config=config
+                )
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "memory": label,
+                        "system": system,
+                        "cycles": result.cycles,
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16 -- channel/rank sensitivity (SW dataset)
+# ---------------------------------------------------------------------------
+def figure_16(
+    algorithms: Sequence[str] = ALGORITHM_ORDER, dataset: str = "SW"
+) -> list[dict]:
+    rows = []
+    for algorithm in algorithms:
+        for channels in (1, 2):
+            for ranks in (1, 2, 4):
+                config = DRAMConfig(
+                    spec=DEVICES["DDR4_2400_x16"],
+                    channels=channels, ranks=ranks,
+                )
+                for system in (BASELINE, "Piccolo"):
+                    result = run_system(
+                        system, algorithm, dataset, dram_config=config
+                    )
+                    rows.append(
+                        {
+                            "algorithm": algorithm,
+                            "channels": channels,
+                            "ranks": ranks,
+                            "system": system,
+                            "cycles": result.cycles,
+                        }
+                    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 17 -- tile-size sensitivity (SW dataset)
+# ---------------------------------------------------------------------------
+def figure_17(
+    algorithms: Sequence[str] = ALGORITHM_ORDER,
+    dataset: str = "SW",
+    scales: Sequence[int] = (1, 2, 4, 8, 16),
+) -> list[dict]:
+    rows = []
+    for algorithm in algorithms:
+        base_ns = None
+        for scale_factor in scales:
+            for system in (BASELINE, "Piccolo"):
+                result = run_system(
+                    system, algorithm, dataset, tile_scale=scale_factor
+                )
+                if system == BASELINE and scale_factor == scales[0]:
+                    base_ns = result.total_ns
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "scale": scale_factor,
+                        "system": system,
+                        "norm_cycles": result.total_ns / base_ns,
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 18 -- synthetic graphs (PR)
+# ---------------------------------------------------------------------------
+def figure_18(
+    datasets: Sequence[str] = SYNTHETIC,
+    systems: Sequence[str] = (
+        "GraphDyns (SPM)", BASELINE, "NMP", "PIM", "Piccolo",
+    ),
+) -> list[dict]:
+    rows = []
+    for dataset in datasets:
+        base = run_system(BASELINE, "PR", dataset)
+        for system in systems:
+            result = (
+                base if system == BASELINE
+                else run_system(system, "PR", dataset)
+            )
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "system": system,
+                    "speedup": base.total_ns / result.total_ns,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 19a -- edge-centric vs vertex-centric (PR)
+# ---------------------------------------------------------------------------
+def figure_19a(
+    datasets: Sequence[str] = REAL_WORLD,
+    scale: ExperimentScale = DEFAULT_SCALE,
+) -> list[dict]:
+    rows = []
+    for dataset in datasets:
+        graph = load_dataset(dataset)
+        iters = scale.iterations_for("PR")
+        vc_base = run_system(BASELINE, "PR", dataset)
+        vc_picc = run_system("Piccolo", "PR", dataset)
+        ec_base = ECConventionalSystem(
+            onchip_bytes=scale.baseline_cache_bytes
+        ).run(graph, "PR", max_iterations=iters)
+        ec_picc = ECPiccoloSystem(
+            onchip_bytes=scale.piccolo_cache_bytes,
+            mshr_entries=scale.mshr_entries,
+            fg_tag_bits=scale.fg_tag_bits,
+        ).run(graph, "PR", max_iterations=iters)
+        for label, result in (
+            ("VC Conven.", vc_base),
+            ("VC Piccolo", vc_picc),
+            ("EC Conven.", ec_base),
+            ("EC Piccolo", ec_picc),
+        ):
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "system": label,
+                    "speedup": vc_base.total_ns / result.total_ns,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 19b -- OLAP queries
+# ---------------------------------------------------------------------------
+def figure_19b(num_rows: int = 1 << 16) -> list[dict]:
+    return [
+        {"query": name, "speedup": speedup}
+        for name, speedup in query_speedups(num_rows).items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 20a -- enhanced designs for DDR4x4 and HBM
+# ---------------------------------------------------------------------------
+def figure_20a(
+    algorithms: Sequence[str] = ALGORITHM_ORDER, dataset: str = "SW"
+) -> list[dict]:
+    rows = []
+    cases = (
+        ("x4", DEVICES["DDR4_2400_x4"], {"offset_bits": 11}),
+        ("HBM", DEVICES["HBM2_2000"], {"long_burst_fim": True}),
+    )
+    for algorithm in algorithms:
+        for label, device, enhancement in cases:
+            base_cfg = DRAMConfig(spec=device, channels=1, ranks=4)
+            enh_cfg = DRAMConfig(spec=device, channels=1, ranks=4, **enhancement)
+            base = run_system(BASELINE, algorithm, dataset, dram_config=base_cfg)
+            picc = run_system("Piccolo", algorithm, dataset, dram_config=base_cfg)
+            enh = run_system("Piccolo", algorithm, dataset, dram_config=enh_cfg)
+            for system, result in (
+                (BASELINE, base), ("Piccolo", picc), ("Piccolo enhanced", enh),
+            ):
+                rows.append(
+                    {
+                        "algorithm": algorithm,
+                        "memory": label,
+                        "system": system,
+                        "speedup": base.total_ns / result.total_ns,
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 20b -- prefetching disabled
+# ---------------------------------------------------------------------------
+def figure_20b(datasets: Sequence[str] = REAL_WORLD) -> list[dict]:
+    rows = []
+    for dataset in datasets:
+        with_pf = run_system("Piccolo", "PR", dataset)
+        without = run_system(
+            "Piccolo", "PR", dataset,
+            pipeline=PipelineConfig(prefetch=False),
+        )
+        rows.append(
+            {
+                "dataset": dataset,
+                "norm_perf_with": 1.0,
+                "norm_perf_without": with_pf.total_ns / without.total_ns,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Pretty-printing helper used by the benchmark harness
+# ---------------------------------------------------------------------------
+def format_rows(title: str, rows: list[dict]) -> str:
+    """Render rows as an aligned text table (one line per row)."""
+    lines = [f"\n=== {title} ==="]
+    if not rows:
+        lines.append("(no rows)")
+        return "\n".join(lines)
+    keys = list(rows[0].keys())
+    lines.append("  ".join(f"{k:>14s}" for k in keys))
+    for row in rows:
+        cells = []
+        for key in keys:
+            value = row.get(key, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>14.3f}")
+            else:
+                cells.append(f"{str(value):>14s}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def print_rows(title: str, rows: list[dict]) -> None:
+    """Print :func:`format_rows` output (kept for script/example use)."""
+    print(format_rows(title, rows))

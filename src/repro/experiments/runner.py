@@ -1,0 +1,118 @@
+"""Run orchestration: build a system, run a workload, tabulate speedups."""
+
+from __future__ import annotations
+
+from repro.accel.base import SystemResult
+from repro.accel.pipeline import PipelineConfig
+from repro.accel.systems import SYSTEMS, SYSTEM_ORDER, make_system
+from repro.dram.spec import DRAMConfig
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.tuning import tile_scale_for
+from repro.graph.datasets import load_dataset
+from repro.utils.stats import geometric_mean
+
+_SPM_SYSTEMS = ("Graphicionado", "GraphDyns (SPM)")
+
+#: memo of completed runs -- the figure benches share many grid cells
+#: (results are deterministic, so reuse is sound)
+_RESULT_CACHE: dict[tuple, SystemResult] = {}
+
+
+def clear_result_cache() -> None:
+    """Drop memoised runs (tests use this to force fresh simulations)."""
+    _RESULT_CACHE.clear()
+
+
+def run_system(
+    system: str,
+    algorithm: str,
+    dataset: str,
+    scale: ExperimentScale = DEFAULT_SCALE,
+    dram_config: DRAMConfig | None = None,
+    pipeline: PipelineConfig | None = None,
+    tile_scale: int | None = None,
+    max_iterations: int | None = None,
+    scale_shift: int | None = None,
+    **system_kwargs,
+) -> SystemResult:
+    """Run one (system, algorithm, dataset) cell of the evaluation grid."""
+    if system not in SYSTEMS:
+        raise KeyError(f"unknown system {system!r}; available: {sorted(SYSTEMS)}")
+    graph = load_dataset(dataset, scale_shift)
+    onchip = (
+        scale.spm_bytes if system in _SPM_SYSTEMS
+        else scale.piccolo_cache_bytes if system == "Piccolo"
+        else scale.baseline_cache_bytes
+    )
+    kwargs: dict = dict(
+        dram_config=dram_config,
+        pipeline=pipeline,
+        onchip_bytes=onchip,
+        tile_scale=(
+            tile_scale if tile_scale is not None
+            else tile_scale_for(system, algorithm, dataset)
+            or scale.tile_scales.get(system, 1)
+        ),
+    )
+    if system in ("Piccolo", "NMP"):
+        kwargs["mshr_entries"] = scale.mshr_entries
+        kwargs["fg_tag_bits"] = scale.fg_tag_bits
+        kwargs["cache_ways"] = scale.cache_ways
+    elif system == "GraphDyns (Cache)":
+        kwargs["cache_ways"] = scale.cache_ways
+    kwargs.update(system_kwargs)
+    iters = (
+        max_iterations if max_iterations is not None
+        else scale.iterations_for(algorithm)
+    )
+    try:
+        cache_key = (
+            system, algorithm, dataset, dram_config, pipeline,
+            kwargs["tile_scale"], iters, scale_shift,
+            scale.piccolo_cache_bytes, scale.baseline_cache_bytes,
+            scale.spm_bytes, scale.mshr_entries, scale.fg_tag_bits,
+            tuple(sorted(system_kwargs.items())),
+        )
+        hash(cache_key)
+    except TypeError:
+        cache_key = None  # unhashable overrides (e.g. cache factories)
+    if cache_key is not None and cache_key in _RESULT_CACHE:
+        return _RESULT_CACHE[cache_key]
+    accel = make_system(system, **kwargs)
+    result = accel.run(graph, algorithm, max_iterations=iters)
+    if cache_key is not None:
+        _RESULT_CACHE[cache_key] = result
+    return result
+
+
+def speedup_table(
+    results: dict[tuple[str, str, str], SystemResult],
+    baseline: str = "GraphDyns (Cache)",
+) -> dict[tuple[str, str, str], float]:
+    """Normalise ``results[(system, algo, dataset)].total_ns`` to the
+    baseline system's time on the same (algo, dataset)."""
+    table: dict[tuple[str, str, str], float] = {}
+    for (system, algo, data), result in results.items():
+        base = results.get((baseline, algo, data))
+        if base is None:
+            raise KeyError(f"missing baseline run for ({algo}, {data})")
+        table[(system, algo, data)] = base.total_ns / result.total_ns
+    return table
+
+
+def geomean_speedups(
+    table: dict[tuple[str, str, str], float]
+) -> dict[str, float]:
+    """Per-system geometric mean across every (algo, dataset) cell."""
+    by_system: dict[str, list[float]] = {}
+    for (system, _, _), speedup in table.items():
+        by_system.setdefault(system, []).append(speedup)
+    return {s: geometric_mean(v) for s, v in by_system.items()}
+
+
+__all__ = [
+    "run_system",
+    "speedup_table",
+    "geomean_speedups",
+    "SYSTEM_ORDER",
+]

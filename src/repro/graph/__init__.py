@@ -1,0 +1,27 @@
+"""Graph substrate: CSR storage, synthetic generators, datasets, tiling."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    erdos_renyi,
+    kronecker,
+    rmat,
+    watts_strogatz,
+    community_graph,
+    shuffle_vertex_ids,
+)
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.partition import TiledCSR, tile_count
+
+__all__ = [
+    "CSRGraph",
+    "erdos_renyi",
+    "kronecker",
+    "rmat",
+    "watts_strogatz",
+    "community_graph",
+    "shuffle_vertex_ids",
+    "DATASETS",
+    "load_dataset",
+    "TiledCSR",
+    "tile_count",
+]

@@ -1,0 +1,177 @@
+"""Compressed sparse row (CSR) graph storage.
+
+The accelerator models consume graphs in CSR form: a row-pointer array
+(``indptr``, |V|+1 entries) and a column-index array (``indices``, |E|
+entries), optionally with an integer edge-weight array.  This mirrors the
+topology layout the paper charges to memory traffic (row indices
+proportional to |V|, column indices proportional to |E|, Sec. II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """A directed graph in CSR (push/source-major) layout.
+
+    Attributes:
+        indptr: ``int64[num_vertices + 1]`` row pointers.
+        indices: ``int64[num_edges]`` destination vertex ids, grouped by
+            source and sorted within each source.
+        weights: ``int64[num_edges]`` integer edge weights (paper assigns
+            random integers in [0, 255] to unweighted graphs).
+        name: optional human-readable dataset name.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    name: str = field(default="graph", compare=False)
+
+    def __post_init__(self) -> None:
+        indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        weights = np.ascontiguousarray(self.weights, dtype=np.int64)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "weights", weights)
+        if indptr.ndim != 1 or indptr.size < 1:
+            raise ValueError("indptr must be a 1-D array with >= 1 entry")
+        if indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indptr[-1] != indices.size:
+            raise ValueError("indptr[-1] must equal the number of edges")
+        if weights.size != indices.size:
+            raise ValueError("weights must have one entry per edge")
+        n = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError("edge destination out of range")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.indices.size
+
+    @property
+    def average_degree(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (``int64[num_vertices]``)."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Destination ids of ``vertex``'s outgoing edges."""
+        lo, hi = self.indptr[vertex], self.indptr[vertex + 1]
+        return self.indices[lo:hi]
+
+    def edge_weights(self, vertex: int) -> np.ndarray:
+        """Weights of ``vertex``'s outgoing edges."""
+        lo, hi = self.indptr[vertex], self.indptr[vertex + 1]
+        return self.weights[lo:hi]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weights: np.ndarray | None = None,
+        *,
+        dedupe: bool = True,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """Build a CSR graph from parallel src/dst (and optional weight) arrays.
+
+        Self-loops are kept (some algorithms tolerate them); duplicate
+        parallel edges are removed when ``dedupe`` is True, keeping the first
+        weight encountered.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same shape")
+        if src.size and (src.min() < 0 or src.max() >= num_vertices):
+            raise ValueError("edge source out of range")
+        if dst.size and (dst.min() < 0 or dst.max() >= num_vertices):
+            raise ValueError("edge destination out of range")
+        if weights is None:
+            weights = np.zeros(src.size, dtype=np.int64)
+        else:
+            weights = np.asarray(weights, dtype=np.int64)
+            if weights.shape != src.shape:
+                raise ValueError("weights must have one entry per edge")
+
+        order = np.lexsort((dst, src))
+        src, dst, weights = src[order], dst[order], weights[order]
+        if dedupe and src.size:
+            keep = np.ones(src.size, dtype=bool)
+            keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+            src, dst, weights = src[keep], dst[keep], weights[keep]
+
+        counts = np.bincount(src, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr=indptr, indices=dst, weights=weights, name=name)
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (src, dst, weight) parallel arrays in CSR order."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.out_degrees())
+        return src, self.indices.copy(), self.weights.copy()
+
+    def reversed(self) -> "CSRGraph":
+        """Return the transpose graph (every edge direction flipped)."""
+        src, dst, weights = self.edge_array()
+        return CSRGraph.from_edges(
+            self.num_vertices, dst, src, weights, dedupe=False, name=f"{self.name}^T"
+        )
+
+    def with_weights(self, weights: np.ndarray) -> "CSRGraph":
+        """Return a copy of this graph with a new weight array."""
+        return CSRGraph(
+            indptr=self.indptr, indices=self.indices, weights=weights, name=self.name
+        )
+
+    def relabel(self, permutation: np.ndarray) -> "CSRGraph":
+        """Return an isomorphic graph with vertex ids mapped by ``permutation``.
+
+        ``permutation[v]`` is the new id of old vertex ``v``.  Used to
+        destroy (shuffle) or impose (sort-by-community) vertex-id locality.
+        """
+        permutation = np.asarray(permutation, dtype=np.int64)
+        if permutation.shape != (self.num_vertices,):
+            raise ValueError("permutation must have one entry per vertex")
+        if np.unique(permutation).size != self.num_vertices:
+            raise ValueError("permutation must be a bijection")
+        src, dst, weights = self.edge_array()
+        return CSRGraph.from_edges(
+            self.num_vertices,
+            permutation[src],
+            permutation[dst],
+            weights,
+            dedupe=False,
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSRGraph(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, avg_deg={self.average_degree:.2f})"
+        )

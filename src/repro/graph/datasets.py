@@ -1,0 +1,140 @@
+"""Dataset registry: seeded, scaled stand-ins for the paper's graphs.
+
+The paper's real-world datasets (Table II) range from 92 M to 2.7 B edges;
+full-size graphs are out of reach for a pure-Python timing model and the
+raw data is unavailable offline.  Each dataset here is a deterministic
+synthetic graph, roughly 2^10 smaller, engineered to preserve the
+characteristics the evaluation hinges on:
+
+==========  ===========================  ==============================
+Name        Paper characteristics        Stand-in construction
+==========  ===========================  ==============================
+UU          |V| 58M, |E| 92M, deg ~3,    sparse Erdos-Renyi, avg deg 1.6
+            very sparse friendship
+SW          21M/261M, deg ~12, social    RMAT, avg deg 12
+            power law
+TW          41M/1465M, deg ~36, dense    community RMAT (id locality),
+            clusters, high locality      avg deg 36
+FS          65M/1806M, deg ~28, poor     RMAT + shuffled ids
+            locality
+PP          111M/1615M, deg ~15,         RMAT (mild skew), avg deg 15
+            citation
+WS26/WS27   small-world, deg 5           Watts-Strogatz, k=5
+KN25..KN28  Kronecker, deg ~10,          RMAT at doubling scales
+            scalability sweep
+==========  ===========================  ==============================
+
+Scaling discipline: the memory-system capacities in
+``repro.experiments.config`` are scaled by the same factor, so the ratios
+that determine cache pressure match the paper (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.graph.csr import CSRGraph
+from repro.graph import generators as gen
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry mapping a paper dataset to its stand-in generator."""
+
+    name: str
+    description: str
+    paper_vertices: int
+    paper_edges: int
+    build: Callable[[int], CSRGraph]
+    #: default scale shift relative to the paper size (2**shift reduction)
+    scale_shift: int = 12
+
+
+def _uu(scale_shift: int) -> CSRGraph:
+    n = max(1024, 58_000_000 >> scale_shift)
+    return gen.erdos_renyi(n, avg_degree=1.6, seed=101, name="UU")
+
+
+def _sw(scale_shift: int) -> CSRGraph:
+    n = max(1024, 21_000_000 >> scale_shift)
+    return gen.rmat(n, avg_degree=12.4, seed=102, name="SW")
+
+
+def _tw(scale_shift: int) -> CSRGraph:
+    n = max(1024, 41_000_000 >> scale_shift)
+    return gen.community_graph(
+        n, avg_degree=35.7, num_communities=max(8, n // 256), p_internal=0.75,
+        seed=103, name="TW",
+    )
+
+
+def _fs(scale_shift: int) -> CSRGraph:
+    n = max(1024, 65_000_000 >> scale_shift)
+    graph = gen.rmat(n, avg_degree=27.8, seed=104, name="FS")
+    return gen.shuffle_vertex_ids(graph, seed=105)
+
+
+def _pp(scale_shift: int) -> CSRGraph:
+    n = max(1024, 111_000_000 >> scale_shift)
+    return gen.rmat(n, avg_degree=14.5, seed=106, a=0.45, b=0.25, c=0.2, name="PP")
+
+
+def _ws(scale: int):
+    def build(scale_shift: int) -> CSRGraph:
+        n = max(1024, (1 << scale) >> scale_shift)
+        return gen.watts_strogatz(n, k=5, beta=0.1, seed=110 + scale, name=f"WS{scale}")
+
+    return build
+
+
+def _kn(scale: int):
+    def build(scale_shift: int) -> CSRGraph:
+        n = max(1024, (1 << scale) >> scale_shift)
+        return gen.rmat(n, avg_degree=10.0, seed=120 + scale, name=f"KN{scale}")
+
+    return build
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "UU": DatasetSpec("UU", "Facebook friendship (Uci-Uni)", 58_000_000, 92_000_000, _uu, 12),
+    "SW": DatasetSpec("SW", "Sina Weibo social", 21_000_000, 261_000_000, _sw, 12),
+    "TW": DatasetSpec("TW", "Twitter follower", 41_000_000, 1_465_000_000, _tw, 12),
+    "FS": DatasetSpec("FS", "Friendster social", 65_000_000, 1_806_000_000, _fs, 12),
+    "PP": DatasetSpec("PP", "OGB papers citation", 111_000_000, 1_615_000_000, _pp, 12),
+    "WS26": DatasetSpec("WS26", "Watts-Strogatz scale 26", 67_000_000, 336_000_000, _ws(26), 12),
+    "WS27": DatasetSpec("WS27", "Watts-Strogatz scale 27", 134_000_000, 671_000_000, _ws(27), 12),
+    "KN25": DatasetSpec("KN25", "Kronecker scale 25", 34_000_000, 336_000_000, _kn(25), 12),
+    "KN26": DatasetSpec("KN26", "Kronecker scale 26", 67_000_000, 671_000_000, _kn(26), 12),
+    "KN27": DatasetSpec("KN27", "Kronecker scale 27", 134_000_000, 1_342_000_000, _kn(27), 12),
+    "KN28": DatasetSpec("KN28", "Kronecker scale 28", 268_000_000, 2_684_000_000, _kn(28), 12),
+}
+
+#: The five real-world datasets used by most figures, in paper order.
+REAL_WORLD = ("UU", "TW", "SW", "FS", "PP")
+
+#: Synthetic datasets of Fig. 18, in paper order.
+SYNTHETIC = ("WS26", "WS27", "KN25", "KN26", "KN27", "KN28")
+
+
+@lru_cache(maxsize=32)
+def load_dataset(name: str, scale_shift: int | None = None) -> CSRGraph:
+    """Build (and memoise) the scaled stand-in for a paper dataset.
+
+    Args:
+        name: dataset key from :data:`DATASETS` (e.g. ``"TW"``).
+        scale_shift: optional override for the 2**shift size reduction;
+            larger shifts mean smaller graphs.  ``None`` uses the spec
+            default.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    shift = spec.scale_shift if scale_shift is None else scale_shift
+    if shift < 0:
+        raise ValueError("scale_shift must be >= 0")
+    return spec.build(shift)

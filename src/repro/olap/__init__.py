@@ -1,0 +1,19 @@
+"""In-memory database workload (Sec. VIII-A, Fig. 19b).
+
+OLAP select queries scan specific columns of row-major tables, producing
+fixed-stride fine-grained access patterns -- exactly what Piccolo-FIM
+gathers efficiently.  :mod:`repro.olap.table` builds a columnar/row-store
+table; :mod:`repro.olap.queries` defines the four select-style queries
+(Qa-Qd) and evaluates them on conventional vs. Piccolo memory.
+"""
+
+from repro.olap.table import Table, ColumnSpec
+from repro.olap.queries import OLAP_QUERIES, run_query, query_speedups
+
+__all__ = [
+    "Table",
+    "ColumnSpec",
+    "OLAP_QUERIES",
+    "run_query",
+    "query_speedups",
+]

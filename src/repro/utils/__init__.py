@@ -1,0 +1,14 @@
+"""Shared helpers: unit constants, statistics, seeded RNG."""
+
+from repro.utils.units import KIB, MIB, GIB, CACHE_LINE_BYTES, WORD_BYTES
+from repro.utils.stats import geometric_mean, Counter
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "CACHE_LINE_BYTES",
+    "WORD_BYTES",
+    "geometric_mean",
+    "Counter",
+]

@@ -1,0 +1,51 @@
+"""Small statistics helpers shared by the harness and the models."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (used for the GM columns).
+
+    Raises ``ValueError`` on an empty sequence or non-positive entries, so a
+    harness bug cannot silently produce a bogus GM row.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class Counter:
+    """A named bag of additive counters.
+
+    Cheaper and more explicit than ``collections.Counter`` for the hot
+    simulation paths: attribute-style access, explicit merge, and a stable
+    ``as_dict`` for reporting.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, **initial: float) -> None:
+        self._data: dict[str, float] = dict(initial)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self._data[name] = self._data.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        return self._data.get(name, 0.0)
+
+    def merge(self, other: "Counter") -> None:
+        for key, value in other._data.items():
+            self._data[key] = self._data.get(key, 0.0) + value
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._data.items()))
+        return f"Counter({inner})"

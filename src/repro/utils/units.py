@@ -1,0 +1,31 @@
+"""Unit constants used throughout the memory-system models."""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: DDR burst (cache line) size in bytes.  All DDR-family devices transfer
+#: 64 B per fixed-length burst; LPDDR4/GDDR5/HBM use 32 B (Sec. VII-G).
+CACHE_LINE_BYTES = 64
+
+#: Granularity of a vertex property element (8 B, Sec. IV-A).
+WORD_BYTES = 8
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of ``value``, raising ``ValueError`` if not a power of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)

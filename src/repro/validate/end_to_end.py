@@ -1,0 +1,94 @@
+"""One-call FIM validation: commands legal, data bit-exact.
+
+Deterministic distillation of the randomized end-to-end suite (see
+``tests/test_fim_end_to_end.py``) for the CLI's ``validate`` command:
+seeds a functional bank, runs a fixed programme of gathers and
+scatters through the Sec. VI virtual-row command sequences, checks
+every command against the DDR4 protocol checker, and verifies the
+moved data against a shadow array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fim import FimBank
+from repro.core.fim_commands import (
+    DDRCommand,
+    VirtualRowController,
+    VirtualRowMap,
+    gather_sequence,
+    scatter_sequence,
+)
+from repro.dram.spec import DEVICES, DeviceSpec
+from repro.validate.protocol import DDR4ProtocolChecker
+
+_ROWS = 4
+
+
+def validate_fim_data_path(
+    spec: DeviceSpec | None = None, seed: int = 2025
+) -> bool:
+    """Run the fixed validation programme; True when everything holds."""
+    spec = spec if spec is not None else DEVICES["DDR4_2400_x16"]
+    rng = np.random.default_rng(seed)
+    bank = FimBank(spec, rows=_ROWS)
+    for row in range(_ROWS):
+        bank.cells[row] = rng.integers(
+            0, 1 << 63, size=spec.row_words, dtype=np.uint64
+        )
+    shadow = bank.cells.copy()
+
+    vmap = VirtualRowMap(physical_rows=_ROWS)
+    controller = VirtualRowController(bank, vmap)
+    checker = DDR4ProtocolChecker(spec, strict_ras=False)
+
+    programme = []
+    for row in range(_ROWS):
+        offsets = sorted(
+            int(o) for o in rng.choice(spec.row_words, size=8, replace=False)
+        )
+        values = [int(v) for v in rng.integers(0, 1 << 62, size=8)]
+        programme.append(("gather", row, offsets, values))
+        programme.append(("scatter", row, offsets, values))
+        programme.append(("gather", row, offsets, values))
+
+    t = 0.0
+    open_row = None
+    use_y = True
+    for kind, row, offsets, values in programme:
+        if open_row != row:
+            if open_row is not None:
+                t += max(spec.tRAS, spec.fim_internal_window)
+                controller.handle(DDRCommand(t, "PRE", 0))
+                checker.check(DDRCommand(t, "PRE", 0))
+                t += spec.tRP
+            controller.handle(DDRCommand(t, "ACT", 0, row=row))
+            checker.check(
+                DDRCommand(t, "ACT", 0,
+                           row=vmap.row_y if use_y else vmap.row_z)
+            )
+            t += spec.tRCD
+            open_row = row
+        if kind == "gather":
+            cmds = gather_sequence(spec, vmap, 0, offsets, start_ns=t,
+                                   use_row_y=use_y)
+        else:
+            cmds = scatter_sequence(spec, vmap, 0, offsets, values,
+                                    start_ns=t, use_row_y=use_y)
+        data = None
+        for cmd in cmds:
+            checker.check(cmd)
+            out = controller.handle(cmd)
+            if out is not None:
+                data = out
+        t = cmds[-1].time_ns + spec.tCCD
+        use_y = not use_y
+        if kind == "gather":
+            expected = [int(shadow[row][o]) for o in offsets]
+            if data != expected:
+                return False
+        else:
+            for offset, value in zip(offsets, values):
+                shadow[row][offset] = value
+    return checker.commands_checked > 0

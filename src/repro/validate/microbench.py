@@ -1,0 +1,131 @@
+"""Strided-read microbenchmark (Fig. 9).
+
+Reads a fixed volume of 8 B elements at a given stride, either confined to
+one open row per bank ("single row", Fig. 9a) or laid out naturally
+across rows ("multi row", Fig. 9b), and compares conventional burst reads
+against Piccolo-FIM gathers on the same timing model.
+
+Expected shape (paper): single-row speedup approaches the theoretical 4x
+at stride 8 (one element per 64 B burst); stride 4 halves the baseline
+penalty (two elements share a burst); multi-row speedups are lower
+because activations occupy part of the time.
+
+The FPGA platform's memory controller (PiDRAM-style) is a simple in-order
+design, so row activations are *not* overlapped with transfers; the
+timing here therefore adds the serial activation cost on top of the
+burst-transfer time, which is what makes the multi-row case slower
+(Fig. 9b) while leaving the single-row case at the theoretical gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.spec import DRAMConfig, default_config
+from repro.dram.system import DRAMModel
+
+#: paper sweep (stride in 8 B words)
+STRIDES = (4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """One (stride, layout) cell of Fig. 9."""
+
+    stride_words: int
+    single_row: bool
+    conventional_ns: float
+    piccolo_ns: float
+
+    @property
+    def speedup(self) -> float:
+        return self.conventional_ns / self.piccolo_ns
+
+
+def _element_addrs(
+    total_bytes: int, stride_words: int, single_row: bool, config: DRAMConfig
+) -> np.ndarray:
+    """Addresses of the strided elements.
+
+    ``single_row`` folds the walk so each bank stays within one row (the
+    data "fits into open rows of the banks", Fig. 9a); otherwise the
+    elements spread naturally across rows.
+    """
+    n_elements = total_bytes // (stride_words * 8)
+    idx = np.arange(n_elements, dtype=np.int64)
+    addrs = idx * stride_words * 8
+    if single_row:
+        spec = config.spec
+        # Fold: keep the column walk, rotate banks via the natural bank
+        # bits, but pin the row bits to zero.
+        window = (
+            config.channels * spec.row_bytes
+            * spec.banks_per_rank * config.ranks
+        )
+        addrs = addrs % window
+    return addrs
+
+
+def strided_microbenchmark(
+    stride_words: int,
+    single_row: bool,
+    total_bytes: int = 16 * 1024 * 1024,
+    config: DRAMConfig | None = None,
+) -> MicrobenchResult:
+    """Run one Fig. 9 cell (16 MB of data at the given stride)."""
+    if stride_words < 1:
+        raise ValueError("stride must be >= 1 word")
+    config = config if config is not None else default_config()
+    spec = config.spec
+    addrs = _element_addrs(total_bytes, stride_words, single_row, config)
+    model = DRAMModel(config)
+
+    # Serial activation cost (in-order FPGA controller): one tRC + tRCD
+    # per distinct row visit, counted per bank in walk order.
+    bank, row = model.mapper.bank_key_many(addrs)
+    order = np.argsort(bank, kind="stable")
+    bank_o, row_o = bank[order], row[order]
+    transition = np.empty(bank_o.size, dtype=bool)
+    transition[0] = True
+    transition[1:] = (bank_o[1:] != bank_o[:-1]) | (row_o[1:] != row_o[:-1])
+    acts = int(np.count_nonzero(transition))
+    act_ns = acts * (spec.tRP + spec.tRCD)
+
+    # Conventional: one burst per *distinct* 64 B block in walk order.
+    blocks = addrs >> 6
+    keep = np.empty(blocks.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = blocks[1:] != blocks[:-1]
+    conv_bursts = int(np.count_nonzero(keep))
+    conv_ns = conv_bursts * spec.tBURST / config.channels + act_ns
+
+    # Piccolo: the collection-extended MSHR accumulates same-row elements
+    # (not necessarily consecutive -- banks interleave under the default
+    # mapping) and fires one operation per items_per_op offsets.
+    items = config.fim_items_per_op
+    key = row * config.total_banks + bank
+    _, counts = np.unique(key, return_counts=True)
+    n_ops = int(np.sum((counts + items - 1) // items))
+    op_bursts = config.fim_offset_bursts + config.fim_data_bursts
+    fim_ns = n_ops * op_bursts * spec.tBURST / config.channels + act_ns
+    return MicrobenchResult(
+        stride_words=stride_words,
+        single_row=single_row,
+        conventional_ns=conv_ns,
+        piccolo_ns=fim_ns,
+    )
+
+
+def sweep(
+    total_bytes: int = 16 * 1024 * 1024, config: DRAMConfig | None = None
+) -> list[MicrobenchResult]:
+    """The full Fig. 9 grid: strides x {single row, multi row}."""
+    results = []
+    for single in (True, False):
+        for stride in STRIDES:
+            results.append(
+                strided_microbenchmark(stride, single, total_bytes, config)
+            )
+    return results

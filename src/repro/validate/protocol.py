@@ -1,0 +1,116 @@
+"""DDR4 command-timing checker (the FPGA-emulation substitute).
+
+Validates a stream of :class:`~repro.core.fim_commands.DDRCommand`
+against per-bank JEDEC constraints:
+
+==========  ==================================================
+constraint  meaning
+==========  ==================================================
+tRCD        ACT -> first RD/WR to the bank
+tRP         PRE -> next ACT
+tRAS        ACT -> PRE
+tCCD        RD/WR -> next RD/WR (column-to-column)
+tWR         end of write burst -> PRE (write recovery)
+==========  ==================================================
+
+Because Piccolo's virtual rows are ordinary rows from the controller's
+perspective, a legal Piccolo sequence must pass with *zero* knowledge of
+FIM -- which is exactly what this checker proves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.fim_commands import DDRCommand
+from repro.dram.spec import DeviceSpec
+
+
+class ProtocolViolation(AssertionError):
+    """A DDR timing or state violation in a command stream."""
+
+
+@dataclass
+class _BankTiming:
+    open_row: int | None = None
+    last_act: float = -1e18
+    last_pre: float = -1e18
+    last_col: float = -1e18
+    last_wr_data_end: float = -1e18
+
+
+@dataclass
+class DDR4ProtocolChecker:
+    """Stateful checker; feed commands in time order via :meth:`check`."""
+
+    spec: DeviceSpec
+    strict_ras: bool = True
+    _banks: dict[int, _BankTiming] = field(default_factory=dict)
+    commands_checked: int = 0
+
+    def _bank(self, index: int) -> _BankTiming:
+        return self._banks.setdefault(index, _BankTiming())
+
+    def check(self, cmd: DDRCommand) -> None:
+        """Validate one command; raises :class:`ProtocolViolation`."""
+        spec = self.spec
+        bank = self._bank(cmd.bank)
+        t = cmd.time_ns
+        eps = 1e-9
+        if cmd.kind == "ACT":
+            if bank.open_row is not None:
+                raise ProtocolViolation(
+                    f"ACT @{t}: bank {cmd.bank} already has row "
+                    f"{bank.open_row} open"
+                )
+            if t + eps < bank.last_pre + spec.tRP:
+                raise ProtocolViolation(
+                    f"ACT @{t}: violates tRP (PRE at {bank.last_pre})"
+                )
+            bank.open_row = cmd.row
+            bank.last_act = t
+        elif cmd.kind == "PRE":
+            if self.strict_ras and t + eps < bank.last_act + spec.tRAS:
+                raise ProtocolViolation(
+                    f"PRE @{t}: violates tRAS (ACT at {bank.last_act})"
+                )
+            if t + eps < bank.last_wr_data_end + spec.tWR:
+                raise ProtocolViolation(
+                    f"PRE @{t}: violates tWR "
+                    f"(write data ended {bank.last_wr_data_end})"
+                )
+            bank.open_row = None
+            bank.last_pre = t
+        elif cmd.kind in ("RD", "WR"):
+            if bank.open_row is None:
+                raise ProtocolViolation(f"{cmd.kind} @{t}: no open row")
+            if cmd.row is not None and cmd.row != bank.open_row:
+                raise ProtocolViolation(
+                    f"{cmd.kind} @{t}: row {cmd.row} is not the open row "
+                    f"{bank.open_row}"
+                )
+            if t + eps < bank.last_act + spec.tRCD:
+                raise ProtocolViolation(
+                    f"{cmd.kind} @{t}: violates tRCD (ACT at {bank.last_act})"
+                )
+            if t + eps < bank.last_col + spec.tCCD:
+                raise ProtocolViolation(
+                    f"{cmd.kind} @{t}: violates tCCD "
+                    f"(previous column at {bank.last_col})"
+                )
+            bank.last_col = t
+            if cmd.kind == "WR":
+                bank.last_wr_data_end = t + spec.tBURST
+        else:  # non-standard opcode
+            raise ProtocolViolation(f"non-standard command {cmd.kind!r}")
+        self.commands_checked += 1
+
+    def check_sequence(self, commands: list[DDRCommand]) -> None:
+        """Validate an entire stream (must be time-ordered per bank)."""
+        for cmd in commands:
+            self.check(cmd)
+
+    def window_covers_internal_op(self, items: int) -> bool:
+        """Whether the virtual-row gap hides ``items`` column accesses
+        (the Sec. VI feasibility condition)."""
+        return items * self.spec.tCCD <= self.spec.fim_internal_window

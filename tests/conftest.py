@@ -1,0 +1,42 @@
+"""Shared fixtures: small deterministic graphs and memory configs."""
+
+import numpy as np
+import pytest
+
+from repro.dram.spec import DEVICES, DRAMConfig
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, rmat
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """A hand-built 6-vertex graph with known structure.
+
+    Edges: 0->1, 0->2, 1->3, 2->3, 3->4, 4->5, 5->0 (weights 1..7).
+    """
+    src = np.array([0, 0, 1, 2, 3, 4, 5])
+    dst = np.array([1, 2, 3, 3, 4, 5, 0])
+    w = np.arange(1, 8)
+    return CSRGraph.from_edges(6, src, dst, w, name="tiny")
+
+
+@pytest.fixture
+def small_random_graph() -> CSRGraph:
+    return erdos_renyi(256, avg_degree=4.0, seed=42, name="small-random")
+
+
+@pytest.fixture
+def medium_power_law_graph() -> CSRGraph:
+    return rmat(1024, avg_degree=8.0, seed=7, name="medium-rmat")
+
+
+@pytest.fixture
+def ddr4_config() -> DRAMConfig:
+    return DRAMConfig(spec=DEVICES["DDR4_2400_x16"], channels=1, ranks=4)
+
+
+@pytest.fixture
+def small_ddr4_config() -> DRAMConfig:
+    return DRAMConfig(
+        spec=DEVICES["DDR4_2400_x16"], channels=1, ranks=1, rows_per_bank=256
+    )

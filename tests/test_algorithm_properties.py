@@ -1,0 +1,94 @@
+"""Property-based tests on the algorithm engines (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import make_algorithm
+from repro.algorithms.vcm import VertexCentricEngine
+from repro.graph.csr import CSRGraph
+
+
+@st.composite
+def random_graphs(draw, max_vertices=64, max_edges=256):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    w = draw(st.lists(st.integers(0, 255), min_size=m, max_size=m))
+    return CSRGraph.from_edges(
+        n, np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64),
+        np.asarray(w, dtype=np.int64), name="hypo",
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=random_graphs(), tile=st.integers(min_value=1, max_value=64))
+def test_tiling_never_changes_results(graph, tile):
+    """Algorithm results are invariant to the tile width."""
+    for algo in ("PR", "BFS", "CC"):
+        whole = VertexCentricEngine(make_algorithm(algo, graph))
+        tiled = VertexCentricEngine(make_algorithm(algo, graph), tile)
+        whole.run(12)
+        tiled.run(12)
+        np.testing.assert_allclose(whole.prop, tiled.prop, rtol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=random_graphs())
+def test_bfs_levels_are_consistent(graph):
+    """BFS levels differ by at most 1 across any edge (triangle property)
+    and the source has level 0."""
+    engine = VertexCentricEngine(make_algorithm("BFS", graph))
+    engine.run(graph.num_vertices + 1)
+    levels = engine.prop
+    assert levels[0] == 0
+    src, dst, _ = graph.edge_array()
+    for u, v in zip(src.tolist(), dst.tolist()):
+        if np.isfinite(levels[u]):
+            assert levels[v] <= levels[u] + 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=random_graphs())
+def test_sssp_dominated_by_bfs_times_max_weight(graph):
+    """dist(v) <= levels(v) * max_weight for every reachable v."""
+    bfs = VertexCentricEngine(make_algorithm("BFS", graph))
+    bfs.run(graph.num_vertices + 1)
+    sssp = VertexCentricEngine(make_algorithm("SSSP", graph))
+    sssp.run(4 * (graph.num_vertices + 1))
+    max_w = graph.weights.max() if graph.num_edges else 0
+    reachable = np.isfinite(bfs.prop)
+    assert np.all(
+        sssp.prop[reachable] <= bfs.prop[reachable] * max(max_w, 1) + 1e-9
+    )
+    # Unreachable vertices stay at infinity in both.
+    assert np.array_equal(np.isfinite(sssp.prop), reachable)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=random_graphs())
+def test_cc_labels_are_fixpoint_and_minimal(graph):
+    """At convergence no edge can further lower a label, and labels never
+    exceed the vertex id."""
+    engine = VertexCentricEngine(make_algorithm("CC", graph))
+    engine.run(graph.num_vertices + 1)
+    labels = engine.prop
+    assert np.all(labels <= np.arange(graph.num_vertices))
+    src, dst, _ = graph.edge_array()
+    for u, v in zip(src.tolist(), dst.tolist()):
+        assert labels[v] <= labels[u]
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=random_graphs(), damping=st.floats(0.5, 0.95))
+def test_pagerank_mass_bounded(graph, damping):
+    """Rank mass stays in (0, 1] (dangling vertices leak mass)."""
+    engine = VertexCentricEngine(make_algorithm("PR", graph, damping=damping))
+    engine.run(20)
+    assert engine.prop.min() > 0
+    assert engine.prop.sum() <= 1.0 + 1e-9

@@ -1,0 +1,156 @@
+"""Amoeba cache: variable granularity, in-array tags, predictor."""
+
+import numpy as np
+import pytest
+
+from repro.cache.amoeba import (
+    AmoebaCache,
+    DEFAULT_GRANULARITY,
+    MAX_BLOCK_WORDS,
+)
+from repro.cache.fine8b import EightByteLineCache
+
+
+def small_cache(**kwargs):
+    return AmoebaCache(2 * 64, ways=2, **kwargs)  # one set, 16-word budget
+
+
+class TestBasics:
+    def test_miss_fetches_predicted_granularity(self):
+        cache = AmoebaCache(4096)
+        result = cache.access(0x0, False)
+        assert not result.hit
+        assert result.fill_bytes == DEFAULT_GRANULARITY * 8
+
+    def test_hit_within_block(self):
+        cache = AmoebaCache(4096)
+        cache.access(0x0, False)
+        assert cache.access(0x8, False).hit  # same 2-word default block
+
+    def test_miss_outside_block(self):
+        cache = AmoebaCache(4096)
+        cache.access(0x0, False)
+        assert not cache.access(0x10, False).hit
+
+    def test_fill_alignment(self):
+        cache = AmoebaCache(4096)
+        result = cache.access(0x18, False)  # word 3, gran 2 -> start word 2
+        assert result.fill_addr == 0x10
+        assert result.fill_bytes == 16
+
+    def test_write_marks_dirty_word_only(self):
+        cache = small_cache()
+        cache.access(0x0, True)
+        writebacks = cache.flush()
+        assert writebacks == [(0x0, 8)]
+
+    def test_contiguous_dirty_words_coalesce(self):
+        cache = small_cache()
+        cache.access(0x0, True)
+        cache.access(0x8, True)
+        assert cache.flush() == [(0x0, 16)]
+
+    def test_disjoint_dirty_runs_split(self):
+        cache = AmoebaCache(4096)
+        # Grow a 4-word block by training the predictor first.
+        for _ in range(4):
+            for word in range(4):
+                cache.access(word * 8, False)
+            cache.flush()
+        cache.access(0x0, True)
+        if cache.access(0x10, True).hit:  # only if one block covers both
+            writebacks = cache.flush()
+            assert (0x0, 8) in writebacks and (0x10, 8) in writebacks
+
+
+class TestFootprintBudget:
+    def test_tag_word_counts_against_budget(self):
+        # 16-word budget; 2-word blocks cost 3 words each -> 5 blocks fit.
+        cache = small_cache()
+        for i in range(5):
+            cache.access(i * 16, False)
+        assert cache.stats.evictions == 0
+        cache.access(5 * 16, False)
+        assert cache.stats.evictions >= 1
+
+    def test_eviction_is_lru(self):
+        cache = small_cache()
+        for i in range(5):
+            cache.access(i * 16, False)
+        cache.access(0 * 16, False)       # touch block 0
+        cache.access(5 * 16, False)       # evicts block 1 (LRU)
+        assert cache.access(0 * 16, False).hit
+        assert not cache.access(1 * 16, False).hit
+
+
+class TestPredictor:
+    def test_full_use_grows_granularity(self):
+        cache = AmoebaCache(4096)
+        for _ in range(6):
+            for word in range(MAX_BLOCK_WORDS):
+                cache.access(word * 8, False)
+            cache.flush()
+        result = cache.access(0x0, False)
+        assert result.fill_bytes > DEFAULT_GRANULARITY * 8
+
+    def test_sparse_use_shrinks_granularity(self):
+        cache = AmoebaCache(4096)
+        # Touch one word per block repeatedly; utilisation 1/2 -> shrink.
+        for round_ in range(4):
+            cache.access(0x0, False)
+            cache.flush()
+        result = cache.access(0x0, False)
+        assert result.fill_bytes == 8
+
+    def test_no_overlap_with_resident_block(self):
+        cache = AmoebaCache(4096)
+        cache.access(0x8, False)   # words 1-2 (gran 2, aligned to 0) ->
+        # words 0..1 resident; a miss on word 2 must not refetch them.
+        result = cache.access(0x10, False)
+        assert result.fill_addr >= 0x10
+
+
+class TestCapacityAndMetadata:
+    def test_capacity_below_full_array(self):
+        cache = AmoebaCache(4096)
+        assert cache.capacity_bytes < 4096
+
+    def test_dedicated_metadata_small(self):
+        cache = AmoebaCache(4096)
+        fine = EightByteLineCache(4096)
+        assert cache.tag_overhead_bits < fine.tag_overhead_bits
+
+    def test_in_array_tags_reported(self):
+        assert AmoebaCache(4096).in_array_tag_bits > 0
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            AmoebaCache(1000)
+
+
+class TestWorkloadBehaviour:
+    def test_random_words_lower_hit_rate_than_fine8b(self):
+        fine = EightByteLineCache(4096, ways=8)
+        amoeba = AmoebaCache(4096, ways=8)
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 4096 // 8, 20_000) * 8).tolist()
+        for addr in addrs:
+            fine.access(addr, False)
+            amoeba.access(addr, False)
+        assert amoeba.stats.hit_rate < fine.stats.hit_rate
+
+    def test_sequential_scan_beats_random_fills(self):
+        cache = AmoebaCache(4096)
+        for word in range(2048):
+            cache.access((word % 256) * 8, False)
+        # After predictor warm-up the scan should mostly hit.
+        assert cache.stats.hit_rate > 0.5
+
+    def test_flush_resets_occupancy(self):
+        cache = small_cache()
+        for i in range(5):
+            cache.access(i * 16, True)
+        cache.flush()
+        assert cache._used_words[0] == 0
+        for i in range(5):
+            assert not cache.access(i * 16, False).hit

@@ -1,0 +1,188 @@
+"""Scrabble (merged-block) and Graphfire (policy-tuned) cache models."""
+
+import numpy as np
+import pytest
+
+from repro.cache.fine8b import EightByteLineCache
+from repro.cache.graphfire import GraphfireCache, HOT_THRESHOLD
+from repro.cache.scrabble import ScrabbleCache
+from repro.cache.sectored import SectoredCache
+
+
+class TestScrabbleBasics:
+    def test_miss_fills_one_word(self):
+        cache = ScrabbleCache(4096)
+        result = cache.access(0x10, False)
+        assert not result.hit
+        assert result.fill_bytes == 8
+        assert result.fill_addr == 0x10
+
+    def test_word_hit(self):
+        cache = ScrabbleCache(4096)
+        cache.access(0x10, False)
+        assert cache.access(0x10, False).hit
+
+    def test_adjacent_words_merge_into_set(self):
+        # Eight adjacent words share a set; all resident simultaneously.
+        cache = ScrabbleCache(4096, ways=2)
+        for word in range(8):
+            cache.access(word * 8, False)
+        for word in range(8):
+            assert cache.access(word * 8, False).hit
+
+    def test_merged_capacity_exceeds_line_count(self):
+        # One set holds ways x 8 words even from different regions --
+        # the merged-block advantage over a sectored cache.
+        scrabble = ScrabbleCache(2 * 64, ways=2)   # 1 set, 16 slots
+        sectored = SectoredCache(2 * 64, ways=2)   # 1 set, 2 lines
+        for i in range(4):
+            scrabble.access(i * 512, False)
+            sectored.access(i * 512, False)
+        scrabble_hits = sum(
+            scrabble.access(i * 512, False).hit for i in range(4)
+        )
+        sectored_hits = sum(
+            sectored.access(i * 512, False).hit for i in range(4)
+        )
+        assert scrabble_hits == 4
+        assert sectored_hits < 4
+
+    def test_lru_within_slot_pool(self):
+        cache = ScrabbleCache(64, ways=1)  # 1 set, 8 slots
+        for word in range(8):
+            cache.access(word * 8, False)
+        cache.access(0, False)           # refresh word 0
+        cache.access(9 * 8, False)       # evicts word 1
+        assert cache.access(0, False).hit
+        assert not cache.access(1 * 8, False).hit
+
+    def test_dirty_eviction(self):
+        cache = ScrabbleCache(64, ways=1)
+        cache.access(0, True)
+        for word in range(1, 9):
+            result = cache.access(word * 8, False)
+        assert result.writebacks == [(0, 8)]
+
+    def test_flush(self):
+        cache = ScrabbleCache(4096)
+        cache.access(0x20, True)
+        cache.access(0x40, False)
+        assert cache.flush() == [(0x20, 8)]
+
+    def test_behaves_like_fine8b_on_random_words(self):
+        scrabble = ScrabbleCache(4096, ways=8)
+        fine = EightByteLineCache(4096, ways=8)
+        rng = np.random.default_rng(7)
+        addrs = (rng.integers(0, 1024, 30_000) * 8).tolist()
+        for addr in addrs:
+            scrabble.access(addr, False)
+            fine.access(addr, False)
+        assert scrabble.stats.hit_rate == pytest.approx(
+            fine.stats.hit_rate, abs=0.05
+        )
+
+    def test_metadata_exceeds_fine8b(self):
+        scrabble = ScrabbleCache(4096)
+        fine = EightByteLineCache(4096)
+        assert scrabble.tag_overhead_bits > fine.tag_overhead_bits
+        assert scrabble.capacity_bytes == 4096
+
+
+class TestGraphfireBasics:
+    def test_random_miss_fills_sector(self):
+        cache = GraphfireCache(4096)
+        result = cache.access(0x108, False)
+        assert not result.hit
+        assert result.fill_bytes == 8
+        assert result.fill_addr == 0x108
+
+    def test_sector_hit(self):
+        cache = GraphfireCache(4096)
+        cache.access(0x108, False)
+        assert cache.access(0x108, False).hit
+
+    def test_sector_miss_in_resident_frame(self):
+        cache = GraphfireCache(4096)
+        cache.access(0x100, False)
+        result = cache.access(0x110, False)
+        assert not result.hit
+        assert result.fill_bytes == 8
+        assert cache.stats.evictions == 0
+
+    def test_stream_upgrades_to_full_frame(self):
+        cache = GraphfireCache(4096)
+        cache.access(0x100, False)   # random fill: one sector
+        result = cache.access(0x108, False)  # sequential: stream fill
+        assert result.fill_bytes == 7 * 8  # remaining sectors
+        for sector in range(2, 8):
+            assert cache.access(0x100 + sector * 8, False).hit
+
+    def test_metadata_way_reduces_capacity(self):
+        cache = GraphfireCache(4096, ways=8)
+        assert cache.capacity_bytes == 4096 * 7 // 8
+        assert cache.data_ways == 7
+
+    def test_cold_insertion_evicts_quickly(self):
+        # Single-touch (cold) blocks must not displace the hot block.
+        cache = GraphfireCache(2 * 8 * 64, ways=8)  # 1 set, 7 data ways
+        hot = 0x0
+        for _ in range(4):
+            cache.access(hot, False)  # hotness saturates
+        for i in range(1, 30):
+            cache.access(i * (cache.num_sets * 64), False)  # cold storm
+        assert cache.access(hot, False).hit
+
+    def test_hot_blocks_insert_mru(self):
+        cache = GraphfireCache(4096, ways=8)
+        block = 0x200
+        for _ in range(HOT_THRESHOLD + 1):
+            cache.access(block, False)
+        frames = cache._sets[(block >> 6) & cache._set_mask]
+        assert frames[0][0] == block >> 6
+
+    def test_dirty_sectors_write_back_individually(self):
+        cache = GraphfireCache(4096, ways=2)  # data_ways = 1
+        set_stride = cache.num_sets * 64
+        cache.access(0x0, True)
+        cache.access(0x18, True)
+        result = cache.access(set_stride, False)  # evicts the frame
+        assert sorted(result.writebacks) == [(0x0, 8), (0x18, 8)]
+
+    def test_flush(self):
+        cache = GraphfireCache(4096)
+        cache.access(0x40, True)
+        assert cache.flush() == [(0x40, 8)]
+
+    def test_needs_two_ways(self):
+        with pytest.raises(ValueError, match="ways"):
+            GraphfireCache(64, ways=1)
+
+    def test_beats_sectored_on_scan_pollution(self):
+        """A reused hot set interleaved with a one-touch scan: LIP-style
+        cold insertion must protect the hot frames where plain sectored
+        LRU lets the scan flush them."""
+        graphfire = GraphfireCache(4096, ways=8)
+        sectored = SectoredCache(4096, ways=8)
+        rng = np.random.default_rng(3)
+        hot_blocks = rng.integers(0, 48, 6_000)  # reused working set
+        scan = 4096 + np.arange(12_000)          # never-reused sweep
+        addrs = []
+        for i in range(6_000):
+            addrs.append(int(hot_blocks[i]) * 64)
+            addrs.append(int(scan[2 * i]) * 64)
+            addrs.append(int(scan[2 * i + 1]) * 64)
+        for addr in addrs:
+            graphfire.access(addr, False)
+            sectored.access(addr, False)
+        assert graphfire.stats.hit_rate > sectored.stats.hit_rate + 0.05
+
+    def test_dead_block_feedback_cools_scan_blocks(self):
+        cache = GraphfireCache(4096, ways=8)
+        set_stride = cache.num_sets * 64
+        # One-touch blocks cycling through a set: evicted unreused.
+        for i in range(40):
+            cache.access(i * set_stride, False)
+        # Their hotness entries must not have accumulated heat.
+        hot_slots = [cache._hotness[cache._hotness_slot((i * set_stride) >> 6)]
+                     for i in range(30)]
+        assert max(hot_slots) <= 1

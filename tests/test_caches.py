@@ -1,0 +1,174 @@
+"""Tests for the cache substrate: conventional, sectored, 8B-line,
+and the Fig. 11 comparison variants."""
+
+import pytest
+
+from repro.cache.conventional import ConventionalCache
+from repro.cache.fine8b import EightByteLineCache
+from repro.cache.sectored import SectoredCache
+from repro.cache.variants import AmoebaCache, GraphfireCache, ScrabbleCache
+
+
+class TestConventional:
+    def test_miss_fetches_full_line(self):
+        cache = ConventionalCache(4096, ways=4)
+        result = cache.access(0x123, False)
+        assert not result.hit
+        assert result.fill_bytes == 64
+        assert result.fill_addr == 0x100
+
+    def test_same_line_hits(self):
+        cache = ConventionalCache(4096, ways=4)
+        cache.access(0x100, False)
+        assert cache.access(0x138, False).hit  # same 64 B line
+
+    def test_lru_eviction_order(self):
+        cache = ConventionalCache(2 * 64, ways=2)  # 1 set, 2 ways
+        cache.access(0 * 64, False)
+        cache.access(1 * 64, False)
+        cache.access(0 * 64, False)   # touch A: now B is LRU
+        cache.access(2 * 64, False)   # evicts B
+        assert cache.access(0 * 64, False).hit
+        assert not cache.access(1 * 64, False).hit
+
+    def test_dirty_eviction_writes_back_line(self):
+        cache = ConventionalCache(64, ways=1)  # one line total
+        cache.access(0x0, True)
+        result = cache.access(0x1000, False)
+        assert result.writebacks == [(0x0, 64)]
+
+    def test_clean_eviction_silent(self):
+        cache = ConventionalCache(64, ways=1)
+        cache.access(0x0, False)
+        assert cache.access(0x1000, False).writebacks is None
+
+    def test_useful_byte_tracking(self):
+        cache = ConventionalCache(64, ways=1)
+        cache.access(0x0, False)
+        cache.access(0x8, False)   # second word of the same line
+        cache.access(0x1000, False)  # evict: 2 of 8 words touched
+        assert cache.useful_fill_bytes == 16
+
+    def test_dirty_word_tracking(self):
+        cache = ConventionalCache(64, ways=1)
+        cache.access(0x0, True)
+        cache.access(0x1000, False)
+        assert cache.useful_wb_bytes == 8  # one dirty word of the 64 B wb
+
+    def test_flush_settles_accounting(self):
+        cache = ConventionalCache(4096, ways=4)
+        cache.access(0x0, True)
+        writebacks = cache.flush()
+        assert writebacks == [(0x0, 64)]
+        assert cache.useful_fill_bytes == 8
+
+    def test_tag_overhead_excludes_state_bits(self):
+        # 4 MB / 8-way / 64 B / 48-bit: tag = 48 - 13 - 6 = 29? No:
+        # sets = 8192 (13 bits), so tag = 48 - 13 - 6 = 29 bits.
+        cache = ConventionalCache(4 * 1024 * 1024, ways=8, line_bytes=64)
+        lines = cache.num_sets * cache.ways
+        assert cache.tag_overhead_bits == lines * (48 - 13 - 6)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ConventionalCache(100, ways=8)
+
+
+class TestSectored:
+    def test_line_miss_fetches_one_sector(self):
+        cache = SectoredCache(4096, ways=4)
+        result = cache.access(0x108, False)
+        assert not result.hit
+        assert result.fill_bytes == 8
+        assert result.fill_addr == 0x108
+
+    def test_sector_miss_in_present_line(self):
+        cache = SectoredCache(4096, ways=4)
+        cache.access(0x100, False)
+        result = cache.access(0x108, False)  # same line, other sector
+        assert not result.hit
+        assert result.fill_bytes == 8
+        assert cache.access(0x108, False).hit
+
+    def test_whole_line_claimed_by_single_sector(self):
+        """The capacity weakness of Sec. V-A: one sector occupies a line."""
+        cache = SectoredCache(2 * 64, ways=2)  # 1 set, 2 ways
+        cache.access(0 * 64, False)
+        cache.access(1 * 64, False)
+        result = cache.access(2 * 64, False)  # line miss evicts a whole line
+        assert cache.stats.evictions == 1
+
+    def test_eviction_writes_back_dirty_sectors_individually(self):
+        cache = SectoredCache(64, ways=1)
+        cache.access(0x0, True)
+        cache.access(0x18, True)
+        cache.access(0x8, False)
+        result = cache.access(0x1000, False)
+        assert sorted(result.writebacks) == [(0x0, 8), (0x18, 8)]
+
+    def test_flush(self):
+        cache = SectoredCache(4096, ways=4)
+        cache.access(0x20, True)
+        assert cache.flush() == [(0x20, 8)]
+
+    def test_tag_overhead_between_conventional_and_8b(self):
+        conventional = ConventionalCache(4 * 1024 * 1024, ways=8)
+        sectored = SectoredCache(4 * 1024 * 1024, ways=8)
+        fine = EightByteLineCache(4 * 1024 * 1024, ways=8)
+        assert (
+            conventional.tag_overhead_bits
+            < sectored.tag_overhead_bits
+            < fine.tag_overhead_bits
+        )
+
+
+class TestEightByteLine:
+    def test_fills_are_words(self):
+        cache = EightByteLineCache(4096, ways=4)
+        result = cache.access(0x10, False)
+        assert result.fill_bytes == 8
+
+    def test_paper_tag_overhead(self):
+        cache = EightByteLineCache(4 * 1024 * 1024, ways=8)
+        # 29 tag bits per 64-bit word ~= 45.3 %
+        assert cache.tag_overhead_fraction == pytest.approx(0.4531, abs=0.001)
+
+    def test_no_spatial_waste(self):
+        cache = EightByteLineCache(4096, ways=4)
+        for i in range(64):
+            cache.access(i * 8, False)
+        assert cache.stats.fill_bytes == cache.stats.requested_bytes
+
+
+class TestVariants:
+    def test_amoeba_loses_capacity(self):
+        amoeba = AmoebaCache(4096)
+        fine = EightByteLineCache(4096)
+        assert amoeba.capacity_bytes < fine.capacity_bytes
+
+    def test_scrabble_keeps_capacity_pays_metadata(self):
+        scrabble = ScrabbleCache(4096)
+        fine = EightByteLineCache(4096)
+        assert scrabble.capacity_bytes == fine.capacity_bytes
+        assert scrabble.tag_overhead_bits > fine.tag_overhead_bits
+
+    def test_graphfire_between(self):
+        graphfire = GraphfireCache(4096)
+        amoeba = AmoebaCache(4096)
+        fine = EightByteLineCache(4096)
+        assert amoeba.capacity_bytes <= graphfire.capacity_bytes
+        assert graphfire.capacity_bytes < fine.capacity_bytes
+
+    def test_reduced_capacity_hurts_hit_rate(self):
+        """Sanity: on a working set that fits the full cache but not the
+        reduced one, amoeba misses more."""
+        fine = EightByteLineCache(4096, ways=8)
+        amoeba = AmoebaCache(4096, ways=8)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        addrs = (rng.integers(0, 4096 // 8, 20_000) * 8).tolist()
+        for addr in addrs:
+            fine.access(addr, False)
+            amoeba.access(addr, False)
+        assert amoeba.stats.hit_rate < fine.stats.hit_rate

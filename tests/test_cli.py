@@ -1,0 +1,67 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_parses(self):
+        args = build_parser().parse_args(["figure", "fig10", "--fast"])
+        assert args.id == "fig10"
+        assert args.fast
+
+    def test_microbench_engine_flag(self):
+        args = build_parser().parse_args(["microbench", "--engine"])
+        assert args.engine
+
+
+class TestListCommand:
+    def test_lists_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+
+class TestFigureCommand:
+    def test_unknown_figure_fails(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_id_normalisation(self, capsys):
+        assert main(["figure", "Fig.19b", "--fast"]) == 0
+        assert "Qa" in capsys.readouterr().out
+
+    def test_fast_figure_runs(self, capsys):
+        assert main(["figure", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "single-row" in out
+
+    def test_every_figure_has_fast_kwargs_that_bind(self):
+        import inspect
+
+        for name, (fn, _headline, fast_kwargs) in FIGURES.items():
+            signature = inspect.signature(fn)
+            for key in fast_kwargs:
+                assert key in signature.parameters, (name, key)
+
+
+class TestValidateCommand:
+    def test_validate_passes(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "protocol clean" in out
+
+
+class TestDatasetsCommand:
+    def test_registry_printed(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for key in ("UU", "TW", "SW", "FS", "PP", "KN28"):
+            assert key in out

@@ -1,0 +1,159 @@
+"""Tests for the collection-extended MSHR (Sec. V-C, Fig. 7)."""
+
+import pytest
+
+from repro.core.collection_mshr import CollectionExtendedMSHR
+from repro.dram.address import AddressMapper
+from repro.dram.spec import DEVICES, DRAMConfig
+
+
+@pytest.fixture
+def mapper():
+    config = DRAMConfig(spec=DEVICES["DDR4_2400_x16"], channels=1, ranks=1)
+    return AddressMapper(config)
+
+
+def make_mshr(mapper, **kwargs):
+    defaults = dict(num_entries=16, items_per_op=8)
+    defaults.update(kwargs)
+    return CollectionExtendedMSHR(mapper, **defaults)
+
+
+def same_row_addrs(mapper, n, row_block=0):
+    """n distinct 8 B word addresses within one DRAM row (n <= 8).
+
+    Words inside one 64 B block always share a (bank, row); blocks
+    ``row_block`` stripes apart differ in row.
+    """
+    assert n <= 8
+    cfg = mapper.config
+    stripe = (
+        cfg.channels * cfg.ranks * cfg.spec.banks_per_rank
+        * cfg.spec.row_bytes
+    )
+    base = row_block * stripe
+    return [base + i * 8 for i in range(n)]
+
+
+class TestGatherCollection:
+    def test_full_gather_at_eight(self, mapper):
+        mshr = make_mshr(mapper)
+        ops = []
+        for addr in same_row_addrs(mapper, 8):
+            ops.extend(mshr.add_read(addr))
+        assert len(ops) == 1
+        assert ops[0].items == 8
+        assert not ops[0].is_scatter
+        assert mshr.stats.gathers_full == 1
+
+    def test_no_op_before_eight(self, mapper):
+        mshr = make_mshr(mapper)
+        ops = []
+        for addr in same_row_addrs(mapper, 7):
+            ops.extend(mshr.add_read(addr))
+        assert ops == []
+
+    def test_duplicate_offsets_merge(self, mapper):
+        mshr = make_mshr(mapper)
+        addr = same_row_addrs(mapper, 1)[0]
+        assert mshr.add_read(addr) == []
+        assert mshr.add_read(addr) == []
+        assert mshr.stats.merged_reads == 1
+
+    def test_flush_issues_partial(self, mapper):
+        mshr = make_mshr(mapper)
+        for addr in same_row_addrs(mapper, 3):
+            mshr.add_read(addr)
+        ops = mshr.flush()
+        assert len(ops) == 1
+        assert ops[0].items == 3
+        assert mshr.stats.gathers_partial == 1
+
+    def test_flush_idempotent(self, mapper):
+        mshr = make_mshr(mapper)
+        mshr.add_read(8)
+        mshr.flush()
+        assert mshr.flush() == []
+
+
+class TestScatterCollection:
+    def test_full_scatter_at_eight(self, mapper):
+        mshr = make_mshr(mapper)
+        ops = []
+        for addr in same_row_addrs(mapper, 8):
+            ops.extend(mshr.add_write(addr))
+        assert len(ops) == 1
+        assert ops[0].is_scatter
+        assert mshr.stats.scatters_full == 1
+
+    def test_write_coalescing(self, mapper):
+        mshr = make_mshr(mapper)
+        addr = same_row_addrs(mapper, 1)[0]
+        mshr.add_write(addr)
+        mshr.add_write(addr)
+        assert mshr.stats.merged_writes == 1
+
+
+class TestForwarding:
+    def test_read_after_write_forwarded(self, mapper):
+        """A read hitting a pending SC-MSHR offset is served from the
+        write-back data (Fig. 7's first controller rule)."""
+        mshr = make_mshr(mapper)
+        addr = same_row_addrs(mapper, 1)[0]
+        mshr.add_write(addr)
+        ops = mshr.add_read(addr)
+        assert ops == []
+        assert mshr.stats.forwarded_reads == 1
+        # The gather side must NOT have recorded an offset.
+        assert mshr.flush()[0].is_scatter
+
+
+class TestConflictEviction:
+    def test_conflicting_row_evicts_partial(self, mapper):
+        mshr = make_mshr(mapper, num_entries=1)  # every row conflicts
+        a = same_row_addrs(mapper, 1, row_block=0)[0]
+        b = same_row_addrs(mapper, 1, row_block=1)[0]
+        mshr.add_read(a)
+        ops = mshr.add_read(b)
+        assert len(ops) == 1
+        assert ops[0].items == 1
+        assert mshr.stats.conflict_evictions == 1
+        assert mshr.stats.gathers_partial == 1
+
+    def test_eviction_drains_both_halves(self, mapper):
+        mshr = make_mshr(mapper, num_entries=1)
+        a = same_row_addrs(mapper, 2, row_block=0)
+        b = same_row_addrs(mapper, 1, row_block=1)[0]
+        mshr.add_read(a[0])
+        mshr.add_write(a[1])
+        ops = mshr.add_read(b)
+        kinds = sorted(op.is_scatter for op in ops)
+        assert kinds == [False, True]
+
+
+class TestConfiguration:
+    def test_items_per_op_respected(self, mapper):
+        mshr = make_mshr(mapper, items_per_op=4)
+        ops = []
+        for addr in same_row_addrs(mapper, 4):
+            ops.extend(mshr.add_read(addr))
+        assert len(ops) == 1
+        assert ops[0].items == 4
+
+    def test_rank_level_flag_propagates(self, mapper):
+        mshr = make_mshr(mapper, rank_level=True)
+        for addr in same_row_addrs(mapper, 8):
+            ops = mshr.add_read(addr)
+        assert ops[0].rank_level
+
+    def test_entries_power_of_two(self, mapper):
+        with pytest.raises(ValueError):
+            make_mshr(mapper, num_entries=3)
+
+    def test_op_location_matches_address(self, mapper):
+        mshr = make_mshr(mapper)
+        addr = same_row_addrs(mapper, 1, row_block=5)[0]
+        mshr.add_read(addr)
+        op = mshr.flush()[0]
+        ch, ra, gb, ro, _ = mapper.decode_scalar(addr)
+        assert (op.channel, op.rank, op.bank, op.row) == (ch, ra, gb, ro)

@@ -1,0 +1,106 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self, tiny_graph):
+        assert tiny_graph.num_vertices == 6
+        assert tiny_graph.num_edges == 7
+        assert tiny_graph.average_degree == pytest.approx(7 / 6)
+
+    def test_neighbors_sorted_by_destination(self, tiny_graph):
+        assert tiny_graph.neighbors(0).tolist() == [1, 2]
+        assert tiny_graph.neighbors(3).tolist() == [4]
+        assert tiny_graph.neighbors(5).tolist() == [0]
+
+    def test_weights_follow_edges(self, tiny_graph):
+        assert tiny_graph.edge_weights(0).tolist() == [1, 2]
+
+    def test_out_degrees(self, tiny_graph):
+        assert tiny_graph.out_degrees().tolist() == [2, 1, 1, 1, 1, 1]
+
+    def test_dedupe_removes_parallel_edges(self):
+        g = CSRGraph.from_edges(
+            3, np.array([0, 0, 0]), np.array([1, 1, 2]), dedupe=True
+        )
+        assert g.num_edges == 2
+
+    def test_dedupe_off_keeps_parallel_edges(self):
+        g = CSRGraph.from_edges(
+            3, np.array([0, 0]), np.array([1, 1]), dedupe=False
+        )
+        assert g.num_edges == 2
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(4, np.array([]), np.array([]))
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+        assert g.average_degree == 0.0
+
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, np.array([5]), np.array([0]))
+
+    def test_out_of_range_destination_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, np.array([0]), np.array([7]))
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(
+                indptr=np.array([0, 2, 1]),
+                indices=np.array([0, 0]),
+                weights=np.zeros(2),
+            )
+
+    def test_indptr_must_match_edges(self):
+        with pytest.raises(ValueError):
+            CSRGraph(
+                indptr=np.array([0, 3]),
+                indices=np.array([0]),
+                weights=np.zeros(1),
+            )
+
+
+class TestTransforms:
+    def test_edge_array_roundtrip(self, small_random_graph):
+        g = small_random_graph
+        src, dst, w = g.edge_array()
+        g2 = CSRGraph.from_edges(g.num_vertices, src, dst, w, dedupe=False)
+        assert np.array_equal(g.indptr, g2.indptr)
+        assert np.array_equal(g.indices, g2.indices)
+        assert np.array_equal(g.weights, g2.weights)
+
+    def test_reversed_preserves_edge_count(self, small_random_graph):
+        rev = small_random_graph.reversed()
+        assert rev.num_edges == small_random_graph.num_edges
+
+    def test_reversed_twice_is_identity(self, tiny_graph):
+        back = tiny_graph.reversed().reversed()
+        assert np.array_equal(back.indptr, tiny_graph.indptr)
+        assert np.array_equal(back.indices, tiny_graph.indices)
+
+    def test_relabel_identity(self, tiny_graph):
+        same = tiny_graph.relabel(np.arange(6))
+        assert np.array_equal(same.indices, tiny_graph.indices)
+
+    def test_relabel_preserves_degree_multiset(self, small_random_graph):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(small_random_graph.num_vertices)
+        shuffled = small_random_graph.relabel(perm)
+        assert sorted(shuffled.out_degrees().tolist()) == sorted(
+            small_random_graph.out_degrees().tolist()
+        )
+
+    def test_relabel_rejects_non_bijection(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.relabel(np.zeros(6, dtype=np.int64))
+
+    def test_with_weights(self, tiny_graph):
+        w = np.full(7, 9)
+        g = tiny_graph.with_weights(w)
+        assert g.edge_weights(0).tolist() == [9, 9]

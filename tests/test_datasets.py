@@ -1,0 +1,63 @@
+"""Tests for the scaled dataset registry."""
+
+import pytest
+
+from repro.graph.datasets import DATASETS, REAL_WORLD, SYNTHETIC, load_dataset
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        for name in ("UU", "SW", "TW", "FS", "PP",
+                     "WS26", "WS27", "KN25", "KN26", "KN27", "KN28"):
+            assert name in DATASETS
+
+    def test_real_world_ordering_matches_paper(self):
+        assert REAL_WORLD == ("UU", "TW", "SW", "FS", "PP")
+
+    def test_synthetic_ordering_matches_paper(self):
+        assert SYNTHETIC == ("WS26", "WS27", "KN25", "KN26", "KN27", "KN28")
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_negative_shift_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("UU", scale_shift=-1)
+
+
+class TestScaledCharacteristics:
+    def test_average_degrees_preserved(self):
+        # The stand-ins must preserve the paper's degree regime.
+        expectations = {"UU": 1.6, "SW": 12.4, "TW": 35.7, "FS": 27.8, "PP": 14.5}
+        for name, degree in expectations.items():
+            g = load_dataset(name)
+            # Dedupe and community redirection shave some edges.
+            assert g.average_degree == pytest.approx(degree, rel=0.35), name
+
+    def test_relative_sizes_preserved(self):
+        # FS and PP are the biggest graphs, UU has the fewest edges.
+        sizes = {name: load_dataset(name).num_edges for name in REAL_WORLD}
+        assert sizes["UU"] == min(sizes.values())
+        assert sizes["FS"] > sizes["SW"]
+        assert sizes["PP"] > sizes["SW"]
+
+    def test_kronecker_scaling_doubles(self):
+        kn25 = load_dataset("KN25")
+        kn26 = load_dataset("KN26")
+        assert kn26.num_vertices == 2 * kn25.num_vertices
+
+    def test_memoised(self):
+        assert load_dataset("UU") is load_dataset("UU")
+
+    def test_scale_shift_override(self):
+        small = load_dataset("SW", scale_shift=14)
+        default = load_dataset("SW")
+        assert small.num_vertices < default.num_vertices
+
+    def test_deterministic_across_calls(self):
+        load_dataset.cache_clear()
+        a = load_dataset("TW")
+        load_dataset.cache_clear()
+        b = load_dataset("TW")
+        assert a.num_edges == b.num_edges

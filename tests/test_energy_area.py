@@ -1,0 +1,107 @@
+"""Tests for the energy/area models, anchored to Sec. VII-F's numbers."""
+
+import pytest
+
+from repro.dram.spec import default_config
+from repro.dram.system import PhaseStats
+from repro.energy.area import (
+    CONVENTIONAL_ACCEL_MM2,
+    PICCOLO_ACCEL_MM2,
+    accelerator_area_mm2,
+    controller_area_fraction,
+    controller_transistors,
+    dram_fim_overhead,
+    piccolo_area_increase,
+)
+from repro.energy.cacti import SRAMModel
+from repro.energy.dram_energy import DRAMEnergyModel, EnergyBreakdown
+
+
+class TestPaperAreaNumbers:
+    def test_controller_is_126_transistors(self):
+        assert controller_transistors() == 126
+
+    def test_controller_area_fraction_0_04_percent(self):
+        assert controller_area_fraction() == pytest.approx(0.0004, abs=0.0001)
+
+    def test_dram_overhead_4_36_percent(self):
+        assert dram_fim_overhead() == pytest.approx(0.0436, abs=0.0002)
+
+    def test_accelerator_area_increase_4_10_percent(self):
+        assert piccolo_area_increase() == pytest.approx(0.0410, abs=0.0005)
+
+    def test_published_totals(self):
+        assert CONVENTIONAL_ACCEL_MM2 == 6.34
+        assert PICCOLO_ACCEL_MM2 == 6.60
+
+    def test_area_report_scales_with_sram(self):
+        big = accelerator_area_mm2(piccolo=True, cache_bytes=4 * 1024 * 1024)
+        small = accelerator_area_mm2(piccolo=True, cache_bytes=4096)
+        assert big.total_mm2 > small.total_mm2
+        assert big.logic_mm2 == small.logic_mm2
+
+
+class TestSRAMModel:
+    def test_energy_grows_with_capacity(self):
+        small = SRAMModel(4 * 1024)
+        big = SRAMModel(4 * 1024 * 1024)
+        assert big.dynamic_nj_per_access > small.dynamic_nj_per_access
+
+    def test_sqrt_scaling(self):
+        a = SRAMModel(1024 * 1024)
+        b = SRAMModel(4 * 1024 * 1024)
+        assert b.dynamic_nj_per_access / a.dynamic_nj_per_access == \
+            pytest.approx(2.0, rel=0.01)
+
+    def test_sequential_search_cheaper(self):
+        parallel = SRAMModel(4096, ways_probed=8.0)
+        sequential = SRAMModel(4096, ways_probed=1.5)
+        assert sequential.dynamic_nj_per_access < \
+            parallel.dynamic_nj_per_access
+
+    def test_leakage_proportional_to_bits(self):
+        assert SRAMModel(2048).leakage_w == pytest.approx(
+            2 * SRAMModel(1024).leakage_w
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SRAMModel(0)
+        with pytest.raises(ValueError):
+            SRAMModel(64, ways_probed=0)
+
+
+class TestDRAMEnergy:
+    def test_io_dominates_for_bursty_traffic(self):
+        model = DRAMEnergyModel(default_config())
+        stats = PhaseStats(read_bursts=10_000, write_bursts=5_000, acts=100)
+        bd = model.energy(stats, duration_ns=1000.0)
+        assert bd.dram_io > bd.dram_rd
+        assert bd.dram_io > bd.dram_wr
+
+    def test_fewer_bursts_less_energy(self):
+        model = DRAMEnergyModel(default_config())
+        heavy = model.energy(PhaseStats(read_bursts=10_000), 1e5)
+        light = model.energy(PhaseStats(read_bursts=5_000), 1e5)
+        assert light.total < heavy.total
+
+    def test_background_scales_with_time(self):
+        model = DRAMEnergyModel(default_config())
+        short = model.energy(PhaseStats(), 1e3)
+        long = model.energy(PhaseStats(), 1e6)
+        assert long.others == pytest.approx(1e3 * short.others)
+
+    def test_internal_words_cost_array_not_io(self):
+        model = DRAMEnergyModel(default_config())
+        without = model.energy(PhaseStats(read_bursts=100), 1.0)
+        with_internal = model.energy(
+            PhaseStats(read_bursts=100, internal_words=800), 1.0
+        )
+        assert with_internal.dram_io == without.dram_io
+        assert with_internal.total > without.total
+
+    def test_breakdown_dict_keys_match_figure(self):
+        bd = EnergyBreakdown()
+        assert list(bd.as_dict()) == [
+            "Acc", "Cache", "DRAM RD", "DRAM WR", "DRAM I/O", "Others",
+        ]

@@ -1,0 +1,140 @@
+"""Property-based validation: the engine never breaks the protocol.
+
+Hypothesis drives the engine with arbitrary mixes of reads, writes and
+FIM operations over every device grade and the checker -- an
+independent reimplementation of the JEDEC rules -- must accept every
+trace.  This is the reproduction's equivalent of running unconstrained
+stimulus against the FPGA emulation platform.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dram.engine import DRAMEngine, check_engine_result
+from repro.dram.engine.workloads import (
+    conventional_requests,
+    fim_requests,
+)
+from repro.dram.spec import DEVICES, DRAMConfig
+
+GRADES = sorted(DEVICES)
+
+_slow = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _config(grade: str, channels: int, ranks: int) -> DRAMConfig:
+    return DRAMConfig(spec=DEVICES[grade], channels=channels, ranks=ranks)
+
+
+@st.composite
+def workloads(draw):
+    grade = draw(st.sampled_from(GRADES))
+    channels = draw(st.sampled_from([1, 2]))
+    ranks = draw(st.sampled_from([1, 2, 4]))
+    n = draw(st.integers(min_value=1, max_value=250))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    write_frac = draw(st.floats(min_value=0.0, max_value=1.0))
+    footprint_log2 = draw(st.integers(min_value=12, max_value=24))
+    return grade, channels, ranks, n, seed, write_frac, footprint_log2
+
+
+@_slow
+@given(workloads())
+def test_random_traffic_is_protocol_clean(params):
+    grade, channels, ranks, n, seed, write_frac, fp_log2 = params
+    config = _config(grade, channels, ranks)
+    rng = np.random.default_rng(seed)
+    footprint = min(config.capacity_bytes, 1 << fp_log2)
+    addrs = rng.integers(0, footprint // 8, size=n, dtype=np.int64) * 8
+    is_write = rng.random(n) < write_frac
+    engine = DRAMEngine(config, refresh_enabled=True)
+    requests, route = conventional_requests(config, addrs, is_write)
+    result = engine.run(requests, route)
+    assert all(r.done for r in result.requests)
+    assert check_engine_result(result) > 0
+
+
+@_slow
+@given(workloads())
+def test_fim_traffic_is_protocol_clean(params):
+    grade, channels, ranks, n, seed, _, fp_log2 = params
+    config = _config(grade, channels, ranks)
+    rng = np.random.default_rng(seed)
+    footprint = min(config.capacity_bytes, 1 << fp_log2)
+    addrs = rng.integers(0, footprint // 8, size=n, dtype=np.int64) * 8
+    engine = DRAMEngine(config, refresh_enabled=True)
+    scatter = bool(seed % 2)
+    requests, route = fim_requests(config, addrs, scatter=scatter)
+    result = engine.run(requests, route)
+    assert all(r.done for r in result.requests)
+    assert check_engine_result(result) > 0
+    done_fim = result.stats.gathers + result.stats.scatters
+    assert done_fim == len(requests)
+
+
+@_slow
+@given(workloads())
+def test_mixed_traffic_is_protocol_clean(params):
+    grade, channels, ranks, n, seed, write_frac, fp_log2 = params
+    config = _config(grade, channels, ranks)
+    rng = np.random.default_rng(seed)
+    footprint = min(config.capacity_bytes, 1 << fp_log2)
+    addrs = rng.integers(0, footprint // 8, size=n, dtype=np.int64) * 8
+    split = n // 2
+    engine = DRAMEngine(config, refresh_enabled=True)
+    conv_reqs, conv_route = conventional_requests(
+        config, addrs[:split],
+        rng.random(min(split, addrs[:split].size)) < write_frac
+        if split else None,
+    )
+    fim_reqs, fim_route = fim_requests(config, addrs[split:])
+    for i, request in enumerate(fim_reqs):
+        request.req_id = 10_000 + i
+    requests = conv_reqs + fim_reqs
+    route = np.concatenate([conv_route, fim_route]) if len(requests) else \
+        np.zeros(0, dtype=np.int64)
+    result = engine.run(requests, route)
+    assert all(r.done for r in result.requests)
+    assert check_engine_result(result) > 0
+
+
+@_slow
+@given(
+    grade=st.sampled_from(GRADES),
+    n=st.integers(min_value=2, max_value=120),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_latency_never_below_cas_floor(grade, n, seed):
+    config = _config(grade, 1, 1)
+    rng = np.random.default_rng(seed)
+    addrs = rng.integers(0, 1 << 20, size=n, dtype=np.int64) * 8
+    engine = DRAMEngine(config)
+    requests, route = conventional_requests(config, addrs)
+    result = engine.run(requests, route)
+    floor = result.timing.tCL + result.timing.tBL
+    for request in result.requests:
+        assert request.latency >= floor
+
+
+@pytest.mark.parametrize("grade", GRADES)
+def test_fim_window_delay_applied_when_needed(grade):
+    """On grades where items x tCCD_L exceeds the natural gap, the RD
+    must be pushed out (the paper's 'slightly adjust tWR')."""
+    config = DRAMConfig(spec=DEVICES[grade], channels=1, ranks=1)
+    engine = DRAMEngine(config)
+    timing = engine.timing
+    addrs = (np.arange(config.fim_items_per_op, dtype=np.int64) * 8)
+    requests, route = fim_requests(config, addrs)
+    result = engine.run(requests, route)
+    window = config.fim_items_per_op * timing.tCCD_L
+    trace = result.traces[0]
+    offset_wr = next(c for c in trace if c.virtual and c.data_clocks)
+    final_col = trace[-1]
+    assert final_col.cycle >= offset_wr.data_end + window
+    assert check_engine_result(result) > 0

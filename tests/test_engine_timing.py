@@ -1,0 +1,137 @@
+"""Timing-table derivation for the command-level engine."""
+
+import pytest
+
+from repro.dram.engine.timing import TimingTable, timing_from_spec
+from repro.dram.spec import DEVICES
+
+
+@pytest.fixture(scope="module")
+def ddr4():
+    return timing_from_spec(DEVICES["DDR4_2400_x16"])
+
+
+class TestDDR4Derivation:
+    def test_clock_period(self, ddr4):
+        assert ddr4.tck_ns == pytest.approx(2 / 2.4)
+
+    def test_core_timings_in_clocks(self, ddr4):
+        assert ddr4.tRCD == 16
+        assert ddr4.tRP == 16
+        assert ddr4.tCL == 17
+        assert ddr4.tCCD_L == 6
+
+    def test_burst_length_bl8(self, ddr4):
+        # 64 B over an 8 B DDR bus: 8 beats = 4 clocks.
+        assert ddr4.tBL == 4
+
+    def test_ccd_s_is_burst_floor(self, ddr4):
+        assert ddr4.tCCD_S == 4
+        assert ddr4.tCCD_S <= ddr4.tCCD_L
+
+    def test_bank_groups(self, ddr4):
+        assert ddr4.bank_groups == 4
+        assert ddr4.banks_per_group == 2
+        assert ddr4.banks_per_rank == 8
+
+    def test_trc_is_ras_plus_rp(self, ddr4):
+        assert ddr4.tRC == ddr4.tRAS + ddr4.tRP
+
+    def test_refresh_parameters(self, ddr4):
+        # 7.8 us every tREFI, 350 ns tRFC at 1.2 GHz.
+        assert ddr4.tREFI == pytest.approx(9360, abs=2)
+        assert ddr4.tRFC == pytest.approx(420, abs=2)
+
+    def test_fim_window_feasibility(self, ddr4):
+        # Sec. VI: 8 x tCCD_L (48 clocks = 40 ns) must fit inside
+        # tWR + tRP + tRCD (50 clocks = 41.7 ns) on DDR4-2400.
+        window = ddr4.tWR + ddr4.tRP + ddr4.tRCD
+        assert 8 * ddr4.tCCD_L <= window
+
+
+class TestHelpers:
+    def test_same_group(self, ddr4):
+        assert ddr4.same_group(0, 1)
+        assert not ddr4.same_group(0, 2)
+
+    def test_ccd_selector(self, ddr4):
+        assert ddr4.ccd(same_group=True) == ddr4.tCCD_L
+        assert ddr4.ccd(same_group=False) == ddr4.tCCD_S
+
+    def test_rrd_selector(self, ddr4):
+        assert ddr4.rrd(True) == ddr4.tRRD_L
+        assert ddr4.rrd(False) == ddr4.tRRD_S
+
+    def test_wtr_selector(self, ddr4):
+        assert ddr4.wtr(True) == ddr4.tWTR_L
+        assert ddr4.wtr(False) == ddr4.tWTR_S
+
+    def test_ns_cycle_roundtrip(self, ddr4):
+        assert ddr4.ns(ddr4.cycles(100.0)) >= 100.0 - 1e-9
+        assert ddr4.cycles(0.0) == 0
+
+    def test_cycles_rounds_up(self, ddr4):
+        one_and_a_bit = ddr4.tck_ns * 1.01
+        assert ddr4.cycles(one_and_a_bit) == 2
+
+
+class TestAllGrades:
+    @pytest.mark.parametrize("name", sorted(DEVICES))
+    def test_derivable_and_valid(self, name):
+        table = timing_from_spec(DEVICES[name])
+        table.validate()
+        assert table.banks_per_rank == DEVICES[name].banks_per_rank
+
+    @pytest.mark.parametrize("name", sorted(DEVICES))
+    def test_burst_matches_spec(self, name):
+        spec = DEVICES[name]
+        table = timing_from_spec(spec)
+        beats = spec.burst_bytes // spec.bus_bytes
+        assert table.tBL == max(1, beats // 2)
+
+    def test_hbm_narrow_burst(self):
+        table = timing_from_spec(DEVICES["HBM2_2000"])
+        # 32 B over a 16 B bus: 2 beats = 1 clock.
+        assert table.tBL == 1
+
+
+class TestValidation:
+    def _table(self, **overrides):
+        base = dict(
+            name="t", tck_ns=1.0, bank_groups=2, banks_per_group=2,
+            tRCD=10, tRP=10, tRAS=25, tCL=10, tCWL=8, tBL=4,
+            tCCD_S=4, tCCD_L=6, tRRD_S=4, tRRD_L=6, tFAW=20,
+            tWR=12, tWTR_S=2, tWTR_L=6, tRTP=6, tREFI=5000, tRFC=300,
+        )
+        base.update(overrides)
+        return TimingTable(**base)
+
+    def test_valid_table_passes(self):
+        self._table().validate()
+
+    def test_ccd_ordering_enforced(self):
+        with pytest.raises(ValueError, match="tCCD_S"):
+            self._table(tCCD_S=8).validate()
+
+    def test_rrd_ordering_enforced(self):
+        with pytest.raises(ValueError, match="tRRD_S"):
+            self._table(tRRD_S=8).validate()
+
+    def test_ras_covers_rcd(self):
+        with pytest.raises(ValueError, match="tRAS"):
+            self._table(tRAS=5).validate()
+
+    def test_faw_covers_rrd(self):
+        with pytest.raises(ValueError, match="tFAW"):
+            self._table(tFAW=2).validate()
+
+    def test_positive_clock(self):
+        with pytest.raises(ValueError, match="tck_ns"):
+            self._table(tck_ns=0.0).validate()
+
+    def test_unknown_family_rejected(self):
+        import dataclasses
+
+        spec = dataclasses.replace(DEVICES["DDR4_2400_x16"], family="DDR5")
+        with pytest.raises(ValueError, match="DDR5"):
+            timing_from_spec(spec)

@@ -1,0 +1,35 @@
+"""Row-table rendering used by the benches and the CLI."""
+
+from repro.experiments.figures import format_rows, print_rows
+
+
+class TestFormatRows:
+    def test_title_and_header(self):
+        text = format_rows("Fig. X", [{"a": 1.0, "b": "hi"}])
+        lines = text.splitlines()
+        assert lines[1] == "=== Fig. X ==="  # after the leading blank
+        assert "a" in lines[2] and "b" in lines[2]
+
+    def test_floats_fixed_point(self):
+        text = format_rows("t", [{"v": 1.23456}])
+        assert "1.235" in text
+
+    def test_non_floats_verbatim(self):
+        text = format_rows("t", [{"system": "GraphDyns (Cache)"}])
+        assert "GraphDyns (Cache)" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_rows("t", [])
+
+    def test_missing_keys_blank(self):
+        text = format_rows("t", [{"a": 1.0, "b": 2.0}, {"a": 3.0}])
+        assert text.splitlines()[-1].strip().startswith("3.000")
+
+    def test_print_rows_goes_to_stdout(self, capsys):
+        print_rows("t", [{"a": 1.0}])
+        assert "=== t ===" in capsys.readouterr().out
+
+    def test_one_line_per_row(self):
+        rows = [{"x": float(i)} for i in range(5)]
+        text = format_rows("t", rows)
+        assert len(text.splitlines()) == 2 + 1 + 5  # blank+title+header+rows

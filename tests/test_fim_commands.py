@@ -1,0 +1,129 @@
+"""Tests for the virtual-row command translation (Sec. VI)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fim import FimBank, FimCommandError
+from repro.core.fim_commands import (
+    DDRCommand,
+    VirtualRowController,
+    VirtualRowMap,
+    gather_sequence,
+    scatter_sequence,
+)
+from repro.dram.spec import DEVICES
+
+SPEC = DEVICES["DDR4_2400_x16"]
+
+
+@pytest.fixture
+def setup():
+    bank = FimBank(SPEC, rows=4)
+    bank.cells[1] = np.arange(SPEC.row_words, dtype=np.uint64) * 3
+    vmap = VirtualRowMap(physical_rows=4)
+    ctrl = VirtualRowController(bank, vmap)
+    ctrl.handle(DDRCommand(0.0, "ACT", 0, row=1))
+    return bank, vmap, ctrl
+
+
+class TestVirtualRowMap:
+    def test_virtual_rows_above_physical(self):
+        vmap = VirtualRowMap(physical_rows=16)
+        assert vmap.row_y == 16
+        assert vmap.row_z == 17
+        assert vmap.is_virtual(16)
+        assert not vmap.is_virtual(15)
+
+    def test_other_flips(self):
+        vmap = VirtualRowMap(physical_rows=4)
+        assert vmap.other(vmap.row_y) == vmap.row_z
+        assert vmap.other(vmap.row_z) == vmap.row_y
+        with pytest.raises(ValueError):
+            vmap.other(0)
+
+
+class TestSequences:
+    def test_gather_uses_only_standard_commands(self, setup):
+        _, vmap, _ = setup
+        cmds = gather_sequence(SPEC, vmap, 0, [1, 2, 3])
+        assert [c.kind for c in cmds] == ["WR", "PRE", "ACT", "RD"]
+
+    def test_gather_window_is_twr_trp_trcd(self, setup):
+        _, vmap, _ = setup
+        cmds = gather_sequence(SPEC, vmap, 0, [1], start_ns=0.0)
+        gap = cmds[-1].time_ns - cmds[0].time_ns
+        assert gap >= SPEC.fim_internal_window
+
+    def test_gather_returns_row_data(self, setup):
+        bank, vmap, ctrl = setup
+        cmds = gather_sequence(SPEC, vmap, 0, [5, 10, 0], start_ns=10.0)
+        data = None
+        for cmd in cmds:
+            out = ctrl.handle(cmd)
+            if out is not None:
+                data = out
+        assert data == [15, 30, 0]
+        assert ctrl.executed_ops[-1][0] == "gather"
+
+    def test_target_row_stays_open(self, setup):
+        bank, vmap, ctrl = setup
+        for cmd in gather_sequence(SPEC, vmap, 0, [1]):
+            ctrl.handle(cmd)
+        # Virtual PRE/ACT must not disturb the physically open row.
+        assert bank.open_row == 1
+
+    def test_scatter_writes_through(self, setup):
+        bank, vmap, ctrl = setup
+        cmds = scatter_sequence(
+            SPEC, vmap, 0, [100, 200], [7, 8], start_ns=5.0
+        )
+        for cmd in cmds:
+            ctrl.handle(cmd)
+        assert bank.read_word(100) == 7
+        assert bank.read_word(200) == 8
+        assert ctrl.executed_ops[-1][0] == "scatter"
+
+    def test_scatter_requires_matching_lengths(self, setup):
+        _, vmap, _ = setup
+        with pytest.raises(ValueError):
+            scatter_sequence(SPEC, vmap, 0, [1, 2], [3])
+
+    def test_short_window_rejected(self, setup):
+        """Reading the data buffer before the internal gather can finish
+        must raise -- the feasibility condition of Sec. VI."""
+        bank, vmap, ctrl = setup
+        ctrl.handle(
+            DDRCommand(0.0, "WR", 0, row=vmap.row_y,
+                       col=vmap.OFFSET_BUF_COL, data=(1, 2, 3, 4, 5, 6, 7, 0))
+        )
+        with pytest.raises(FimCommandError, match="window too short"):
+            ctrl.handle(
+                DDRCommand(10.0, "RD", 0, row=vmap.row_z,
+                           col=vmap.DATA_BUF_COL)
+            )
+
+    def test_unmapped_virtual_column_rejected(self, setup):
+        _, vmap, ctrl = setup
+        with pytest.raises(FimCommandError):
+            ctrl.handle(
+                DDRCommand(0.0, "WR", 0, row=vmap.row_y, col=999, data=(1,))
+            )
+
+    def test_dummy_write_triggers_scatter(self, setup):
+        """With no follow-on command, the controller sends a dummy write
+        to keep the activation cadence (Sec. VI)."""
+        bank, vmap, ctrl = setup
+        cmds = scatter_sequence(
+            SPEC, vmap, 0, [9], [77], start_ns=0.0, dummy_write=True
+        )
+        kinds = [c.kind for c in cmds]
+        assert kinds == ["WR", "WR", "PRE", "ACT", "WR"]
+        for cmd in cmds:
+            ctrl.handle(cmd)
+        assert bank.read_word(9) == 77
+
+
+class TestCommandValidation:
+    def test_non_standard_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DDRCommand(0.0, "GATHER", 0)

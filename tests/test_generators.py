@@ -1,0 +1,133 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    assign_random_weights,
+    community_graph,
+    erdos_renyi,
+    kronecker,
+    rmat,
+    shuffle_vertex_ids,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_size_and_degree(self):
+        g = erdos_renyi(1000, avg_degree=4.0, seed=1)
+        assert g.num_vertices == 1000
+        # dedupe removes a few duplicates; stay within 10 %
+        assert g.average_degree == pytest.approx(4.0, rel=0.1)
+
+    def test_deterministic(self):
+        a = erdos_renyi(500, 3.0, seed=9)
+        b = erdos_renyi(500, 3.0, seed=9)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_seed_changes_graph(self):
+        a = erdos_renyi(500, 3.0, seed=1)
+        b = erdos_renyi(500, 3.0, seed=2)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 1.0)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, -1.0)
+
+
+class TestRMAT:
+    def test_power_law_skew(self):
+        g = rmat(2048, avg_degree=8.0, seed=3)
+        degrees = np.sort(g.out_degrees())[::-1]
+        # Heavy hitters: the top percentile vastly exceeds the mean.
+        assert degrees[:20].mean() > 4 * degrees.mean()
+
+    def test_uniform_probabilities_give_no_skew(self):
+        g = rmat(2048, avg_degree=8.0, seed=3, a=0.25, b=0.25, c=0.25)
+        degrees = np.sort(g.out_degrees())[::-1]
+        assert degrees[:20].mean() < 4 * degrees.mean()
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(64, 2.0, a=0.9, b=0.2, c=0.2)
+
+    def test_kronecker_is_power_of_two_sized(self):
+        g = kronecker(10, avg_degree=4.0)
+        assert g.num_vertices == 1024
+
+    def test_kronecker_scale_bounds(self):
+        with pytest.raises(ValueError):
+            kronecker(0)
+        with pytest.raises(ValueError):
+            kronecker(31)
+
+
+class TestWattsStrogatz:
+    def test_degree_is_k(self):
+        g = watts_strogatz(512, k=5, beta=0.0, seed=1)
+        assert g.num_edges == 512 * 5
+        assert np.all(g.out_degrees() == 5)
+
+    def test_no_rewiring_is_ring_lattice(self):
+        g = watts_strogatz(16, k=2, beta=0.0, seed=1)
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.neighbors(15).tolist() == [0, 1]
+
+    def test_rewiring_changes_structure(self):
+        lattice = watts_strogatz(512, k=4, beta=0.0, seed=1)
+        rewired = watts_strogatz(512, k=4, beta=0.9, seed=1)
+        assert not np.array_equal(lattice.indices, rewired.indices)
+
+    def test_no_power_law(self):
+        g = watts_strogatz(2048, k=5, beta=0.1, seed=1)
+        assert g.out_degrees().max() <= 6  # rewiring only moves dst
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, k=0)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, k=10)
+
+
+class TestCommunityGraph:
+    def test_locality_of_destinations(self):
+        g = community_graph(
+            4096, avg_degree=8.0, num_communities=64, p_internal=0.9, seed=5
+        )
+        src, dst, _ = g.edge_array()
+        community = 4096 // 64
+        same = np.mean((src // community) == (dst // community))
+        assert same > 0.6  # most edges stay inside the community
+
+    def test_shuffle_destroys_locality(self):
+        g = community_graph(
+            4096, avg_degree=8.0, num_communities=64, p_internal=0.9, seed=5
+        )
+        shuffled = shuffle_vertex_ids(g, seed=6)
+        src, dst, _ = shuffled.edge_array()
+        community = 4096 // 64
+        same = np.mean((src // community) == (dst // community))
+        assert same < 0.1
+
+    def test_shuffle_preserves_counts(self):
+        g = community_graph(1024, 4.0, 16, seed=1)
+        shuffled = shuffle_vertex_ids(g, seed=2)
+        assert shuffled.num_edges == g.num_edges
+        assert shuffled.num_vertices == g.num_vertices
+
+
+class TestWeights:
+    def test_range_matches_paper(self):
+        g = erdos_renyi(512, 4.0, seed=1)
+        g = assign_random_weights(g, 0, 255, seed=2)
+        assert g.weights.min() >= 0
+        assert g.weights.max() <= 255
+
+    def test_deterministic(self):
+        g = erdos_renyi(512, 4.0, seed=1)
+        a = assign_random_weights(g, seed=3)
+        b = assign_random_weights(g, seed=3)
+        assert np.array_equal(a.weights, b.weights)

@@ -1,0 +1,51 @@
+"""Tests for graph I/O round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.graph.graphio import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+class TestNpz:
+    def test_roundtrip(self, medium_power_law_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(medium_power_law_graph, path)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.indptr, medium_power_law_graph.indptr)
+        assert np.array_equal(loaded.indices, medium_power_law_graph.indices)
+        assert np.array_equal(loaded.weights, medium_power_law_graph.weights)
+        assert loaded.name == medium_power_law_graph.name
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(tiny_graph, path)
+        loaded = load_edge_list(path, num_vertices=6)
+        assert np.array_equal(loaded.indptr, tiny_graph.indptr)
+        assert np.array_equal(loaded.indices, tiny_graph.indices)
+        assert np.array_equal(loaded.weights, tiny_graph.weights)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% another\n0 1\n1 2 7\n")
+        g = load_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.edge_weights(1).tolist() == [7]
+
+    def test_infers_vertex_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 9\n")
+        assert load_edge_list(path).num_vertices == 10
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(ValueError, match="expected 2 or 3"):
+            load_edge_list(path)
+
+    def test_default_name_is_filename(self, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        path.write_text("0 1\n")
+        assert load_edge_list(path).name == "mygraph.txt"

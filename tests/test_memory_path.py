@@ -1,0 +1,118 @@
+"""Tests for the cache -> MSHR -> DRAM request paths."""
+
+import numpy as np
+import pytest
+
+from repro.cache.conventional import ConventionalCache
+from repro.core.collection_mshr import CollectionExtendedMSHR
+from repro.core.memory_path import (
+    ConventionalMemoryPath,
+    FineGrainedMemoryPath,
+    LocalityMonitor,
+)
+from repro.core.piccolo_cache import PiccoloCache
+from repro.dram.address import AddressMapper
+from repro.dram.spec import DEVICES, DRAMConfig
+
+
+@pytest.fixture
+def mapper():
+    return AddressMapper(
+        DRAMConfig(spec=DEVICES["DDR4_2400_x16"], channels=1, ranks=1)
+    )
+
+
+class TestConventionalPath:
+    def test_misses_become_line_reads(self):
+        path = ConventionalMemoryPath(ConventionalCache(1024, ways=2))
+        path.run(np.asarray([0, 8, 64, 128]), rmw=False)
+        addrs, writes = path.drain()
+        # 0 and 8 share a line: 3 fills.
+        assert addrs.tolist() == [0, 64, 128]
+        assert not writes.any()
+
+    def test_rmw_generates_writebacks_on_eviction(self):
+        path = ConventionalMemoryPath(ConventionalCache(64, ways=1))
+        path.run(np.asarray([0]), rmw=True)
+        path.run(np.asarray([4096]), rmw=False)
+        addrs, writes = path.drain()
+        assert (0 in addrs.tolist()) and writes.sum() == 1
+
+    def test_drain_resets(self):
+        path = ConventionalMemoryPath(ConventionalCache(1024, ways=2))
+        path.run(np.asarray([0]), rmw=False)
+        path.drain()
+        addrs, _ = path.drain()
+        assert addrs.size == 0
+
+    def test_flush_emits_dirty_lines(self):
+        path = ConventionalMemoryPath(ConventionalCache(1024, ways=2))
+        path.run(np.asarray([0]), rmw=True)
+        path.drain()
+        path.flush()
+        addrs, writes = path.drain()
+        assert addrs.tolist() == [0]
+        assert writes.tolist() == [True]
+
+
+class TestFineGrainedPath:
+    def make_path(self, mapper, monitor=None):
+        cache = PiccoloCache(1024, ways=2, fg_tag_bits=4)
+        mshr = CollectionExtendedMSHR(mapper, num_entries=16, items_per_op=8)
+        return FineGrainedMemoryPath(cache, mshr, locality_monitor=monitor)
+
+    def test_eight_misses_one_gather(self, mapper):
+        path = self.make_path(mapper)
+        path.run(np.arange(8, dtype=np.int64) * 8, rmw=False)
+        ops, addrs, _ = path.drain()
+        assert len(ops) == 1
+        assert ops[0].items == 8
+        assert addrs.size == 0
+
+    def test_flush_drains_cache_and_mshr(self, mapper):
+        path = self.make_path(mapper)
+        path.run(np.asarray([0, 8, 16]), rmw=True)
+        path.flush()
+        ops, _, _ = path.drain()
+        # Dirty sectors become scatter offsets; pending gathers issue too.
+        kinds = {op.is_scatter for op in ops}
+        assert kinds == {False, True}
+
+    def test_hits_generate_no_ops(self, mapper):
+        path = self.make_path(mapper)
+        addrs = np.asarray([0, 0, 0, 0])
+        path.run(addrs, rmw=False)
+        ops, _, _ = path.drain()
+        assert ops == []
+        assert path.cache.stats.hits == 3
+
+
+class TestLocalityMonitor:
+    def test_detects_sequential(self):
+        monitor = LocalityMonitor(window=16, threshold=0.75)
+        for i in range(32):
+            monitor.observe(i * 8)
+        assert monitor.bypass
+
+    def test_random_does_not_trigger(self):
+        monitor = LocalityMonitor(window=16, threshold=0.75)
+        rng = np.random.default_rng(0)
+        for addr in rng.integers(0, 1 << 20, 64).tolist():
+            monitor.observe(addr * 8)
+        assert not monitor.bypass
+
+    def test_bypass_reroutes_to_bursts(self, mapper):
+        cache = PiccoloCache(1024, ways=2, fg_tag_bits=4)
+        mshr = CollectionExtendedMSHR(mapper, num_entries=16)
+        monitor = LocalityMonitor(window=8, threshold=0.5)
+        path = FineGrainedMemoryPath(cache, mshr, locality_monitor=monitor)
+        # Long sequential run: after the window, fills become 64 B bursts.
+        path.run(np.arange(256, dtype=np.int64) * 8 + (1 << 20), rmw=False)
+        ops, addrs, writes = path.drain()
+        assert addrs.size > 0  # bypass bursts were issued
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalityMonitor(window=1)
+        with pytest.raises(ValueError):
+            LocalityMonitor(threshold=0.0)

@@ -1,0 +1,77 @@
+"""Tests for the Fig. 9 strided microbenchmark."""
+
+import pytest
+
+from repro.dram.spec import DEVICES, DRAMConfig
+from repro.validate.microbench import (
+    STRIDES,
+    MicrobenchResult,
+    strided_microbenchmark,
+    sweep,
+)
+
+SMALL = 2 * 1024 * 1024
+
+
+class TestShape:
+    """The qualitative claims of Fig. 9."""
+
+    def test_stride8_single_row_near_4x(self):
+        r = strided_microbenchmark(8, single_row=True, total_bytes=SMALL)
+        assert r.speedup == pytest.approx(4.0, abs=0.15)
+
+    def test_stride4_half_gain(self):
+        """Two elements share a burst at stride 4, halving the baseline
+        penalty (Sec. VII-B)."""
+        r = strided_microbenchmark(4, single_row=True, total_bytes=SMALL)
+        assert r.speedup == pytest.approx(2.0, abs=0.15)
+
+    def test_multi_row_lower_than_single_row(self):
+        for stride in (8, 16, 32):
+            single = strided_microbenchmark(stride, True, SMALL)
+            multi = strided_microbenchmark(stride, False, SMALL)
+            assert multi.speedup < single.speedup, stride
+
+    def test_multi_row_still_speeds_up(self):
+        for stride in STRIDES:
+            r = strided_microbenchmark(stride, False, SMALL)
+            assert r.speedup > 1.5, stride
+
+    def test_speedup_never_exceeds_theoretical(self):
+        for r in sweep(SMALL):
+            assert r.speedup <= 4.0 + 1e-9
+
+
+class TestMechanics:
+    def test_sweep_covers_grid(self):
+        results = sweep(SMALL)
+        assert len(results) == 2 * len(STRIDES)
+        assert {r.single_row for r in results} == {True, False}
+
+    def test_result_is_frozen_record(self):
+        r = strided_microbenchmark(8, True, SMALL)
+        assert isinstance(r, MicrobenchResult)
+        with pytest.raises(AttributeError):
+            r.speedup = 5  # frozen
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            strided_microbenchmark(0, True)
+
+    def test_narrow_device_lower_gain(self):
+        """x4 devices need 4 offset bursts: less headroom (Fig. 15)."""
+        x16 = DRAMConfig(spec=DEVICES["DDR4_2400_x16"], channels=1, ranks=4)
+        x4 = DRAMConfig(spec=DEVICES["DDR4_2400_x4"], channels=1, ranks=4)
+        r16 = strided_microbenchmark(8, True, SMALL, config=x16)
+        r4 = strided_microbenchmark(8, True, SMALL, config=x4)
+        assert r4.speedup < r16.speedup
+
+    def test_enhanced_offsets_help_x4(self):
+        """11-bit offsets reduce x4 offset bursts (Sec. VIII-B)."""
+        base = DRAMConfig(spec=DEVICES["DDR4_2400_x4"], channels=1, ranks=4)
+        enhanced = DRAMConfig(
+            spec=DEVICES["DDR4_2400_x4"], channels=1, ranks=4, offset_bits=11
+        )
+        r_base = strided_microbenchmark(8, True, SMALL, config=base)
+        r_enh = strided_microbenchmark(8, True, SMALL, config=enhanced)
+        assert r_enh.speedup > r_base.speedup

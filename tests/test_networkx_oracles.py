@@ -1,0 +1,138 @@
+"""Independent oracles: algorithm results vs networkx.
+
+The in-repo reference implementations share numpy idioms with the
+engine; networkx is a fully independent implementation of the same
+graph semantics, so agreement here rules out a family of shared bugs
+(direction conventions, weight handling, dangling-vertex treatment).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.algorithms.vcm import VertexCentricEngine
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+
+
+def run(graph, algorithm, iterations=128, **kwargs):
+    spec = make_algorithm(algorithm, graph, **kwargs)
+    engine = VertexCentricEngine(spec)
+    engine.run(iterations)
+    return engine.prop
+
+
+def to_networkx(graph: CSRGraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for u in range(graph.num_vertices):
+        lo, hi = graph.indptr[u], graph.indptr[u + 1]
+        for e in range(lo, hi):
+            g.add_edge(u, int(graph.indices[e]),
+                       weight=int(graph.weights[e]))
+    return g
+
+
+@pytest.fixture(scope="module", params=[3, 17, 91])
+def graph(request):
+    return rmat(num_vertices=256, avg_degree=6.0, seed=request.param)
+
+
+@pytest.fixture(scope="module")
+def nx_graph(graph):
+    return to_networkx(graph)
+
+
+class TestBFS:
+    def test_levels_match(self, graph, nx_graph):
+        levels = run(graph, "BFS")
+        oracle = nx.single_source_shortest_path_length(nx_graph, 0)
+        for v in range(graph.num_vertices):
+            if v in oracle:
+                assert levels[v] == oracle[v], v
+            else:
+                assert np.isinf(levels[v]), v
+
+
+class TestSSSP:
+    def test_distances_match(self, graph, nx_graph):
+        dist = run(graph, "SSSP")
+        oracle = nx.single_source_dijkstra_path_length(
+            nx_graph, 0, weight="weight"
+        )
+        for v in range(graph.num_vertices):
+            if v in oracle:
+                assert dist[v] == pytest.approx(oracle[v]), v
+            else:
+                assert np.isinf(dist[v]), v
+
+
+class TestCC:
+    """CC propagates min labels along *directed* edges (Algorithm 1's
+    push direction), so the oracle is the directed fixpoint, checked
+    with networkx's adjacency, plus label sharing inside SCCs."""
+
+    def test_directed_fixpoint(self, graph, nx_graph):
+        labels = run(graph, "CC")
+        for v in range(graph.num_vertices):
+            candidates = [v] + [int(labels[u])
+                                for u in nx_graph.predecessors(v)]
+            assert labels[v] == min(candidates), v
+
+    def test_scc_members_share_label(self, graph, nx_graph):
+        labels = run(graph, "CC")
+        for component in nx.strongly_connected_components(nx_graph):
+            got = {int(labels[v]) for v in component}
+            assert len(got) == 1, "SCC must converge to one label"
+
+    def test_labels_never_increase_from_init(self, graph):
+        labels = run(graph, "CC")
+        assert np.all(labels <= np.arange(graph.num_vertices))
+
+
+class TestPageRank:
+    def test_ranks_correlate_with_networkx(self, graph, nx_graph):
+        """Exact PR variants differ on dangling-mass handling, so check
+        rank agreement: same top vertices, high rank correlation."""
+        ours = run(graph, "PR", iterations=60)
+        oracle = nx.pagerank(nx_graph, alpha=0.85, max_iter=200,
+                             tol=1e-12)
+        oracle_arr = np.array([oracle[v]
+                               for v in range(graph.num_vertices)])
+        ours_order = np.argsort(-ours)
+        oracle_order = np.argsort(-oracle_arr)
+        top = 10
+        overlap = len(set(ours_order[:top].tolist())
+                      & set(oracle_order[:top].tolist()))
+        assert overlap >= 7
+        rank_ours = np.empty(graph.num_vertices)
+        rank_ours[ours_order] = np.arange(graph.num_vertices)
+        rank_oracle = np.empty(graph.num_vertices)
+        rank_oracle[oracle_order] = np.arange(graph.num_vertices)
+        corr = np.corrcoef(rank_ours, rank_oracle)[0, 1]
+        assert corr > 0.9
+
+
+class TestSSWP:
+    def test_widest_path_matches_bruteforce_nx(self, graph, nx_graph):
+        """networkx has no SSWP; use its max-bottleneck via modified
+        Dijkstra on a small vertex sample."""
+        width = run(graph, "SSWP")
+        # Bottleneck of the best path: negate widths and use shortest
+        # path in a transformed graph is wrong; brute-force via
+        # networkx's all simple paths is exponential.  Instead verify
+        # the classic SSWP optimality conditions against nx adjacency:
+        # width[v] = max over in-edges (min(width[u], w(u,v))).
+        for v in range(graph.num_vertices):
+            preds = list(nx_graph.predecessors(v))
+            if v == 0:
+                assert width[v] == np.inf
+                continue
+            if not preds:
+                assert width[v] == -np.inf
+                continue
+            best = max(
+                min(width[u], nx_graph[u][v]["weight"]) for u in preds
+            )
+            assert width[v] == pytest.approx(max(best, -np.inf))

@@ -1,0 +1,64 @@
+"""Tests for the OLAP workload (Fig. 19b)."""
+
+import numpy as np
+import pytest
+
+from repro.olap.queries import OLAP_QUERIES, query_speedups, run_query
+from repro.olap.table import Table
+
+
+class TestTable:
+    def test_column_addresses_strided(self):
+        table = Table(num_rows=16, num_fields=8, base_addr=0)
+        addrs = table.column_addrs(2)
+        assert addrs[0] == 16
+        assert np.all(np.diff(addrs) == 64)  # 8 fields x 8 B
+
+    def test_row_filter(self):
+        table = Table(num_rows=100, num_fields=4, base_addr=0)
+        rows = np.asarray([3, 7])
+        addrs = table.column_addrs(0, rows)
+        assert addrs.tolist() == [3 * 32, 7 * 32]
+
+    def test_select_matches_numpy(self):
+        table = Table(num_rows=1000, num_fields=4, seed=5)
+        threshold = int(np.median(table.data[:, 0]))
+        selected = table.select(0, lambda col: col < threshold)
+        expected = np.flatnonzero(table.data[:, 0] < threshold)
+        assert np.array_equal(selected, expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Table(0, 4)
+        table = Table(4, 4)
+        with pytest.raises(IndexError):
+            table.column_addrs(9)
+
+    def test_deterministic(self):
+        a = Table(64, 4, seed=9)
+        b = Table(64, 4, seed=9)
+        assert np.array_equal(a.data, b.data)
+
+
+class TestQueries:
+    def test_four_queries_defined(self):
+        assert [q.name for q in OLAP_QUERIES] == ["Qa", "Qb", "Qc", "Qd"]
+
+    def test_speedups_near_paper_value(self):
+        """The paper reports ~3.8x for OLAP queries (Sec. VIII-A)."""
+        speedups = query_speedups(num_rows=1 << 14)
+        for name, speedup in speedups.items():
+            assert 2.5 < speedup < 4.5, (name, speedup)
+        mean = sum(speedups.values()) / len(speedups)
+        assert mean == pytest.approx(3.8, abs=0.4)
+
+    def test_run_query_fields(self):
+        out = run_query(OLAP_QUERIES[0], num_rows=1 << 12)
+        assert out["conventional_ns"] > out["piccolo_ns"] > 0
+        assert out["speedup"] == pytest.approx(
+            out["conventional_ns"] / out["piccolo_ns"]
+        )
+
+    def test_wide_rows_still_win(self):
+        out = run_query(OLAP_QUERIES[3], num_rows=1 << 12)
+        assert out["speedup"] > 2.0

@@ -1,0 +1,74 @@
+"""Tests for destination tiling."""
+
+import numpy as np
+import pytest
+
+from repro.graph.partition import TiledCSR, perfect_tile_width, tile_count
+
+
+class TestTileCount:
+    def test_exact_division(self):
+        assert tile_count(100, 25) == 4
+
+    def test_remainder_rounds_up(self):
+        assert tile_count(100, 30) == 4
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            tile_count(10, 0)
+
+
+class TestTiledCSR:
+    def test_edges_partitioned_exactly_once(self, medium_power_law_graph):
+        tiled = TiledCSR(medium_power_law_graph, 100)
+        assert tiled.total_edges() == medium_power_law_graph.num_edges
+
+    def test_destinations_within_range(self, medium_power_law_graph):
+        tiled = TiledCSR(medium_power_law_graph, 128)
+        for tile in tiled:
+            if tile.num_edges:
+                assert tile.dst.min() >= tile.dst_lo
+                assert tile.dst.max() < tile.dst_hi
+
+    def test_sources_sorted_within_tile(self, medium_power_law_graph):
+        tiled = TiledCSR(medium_power_law_graph, 128)
+        for tile in tiled:
+            assert np.all(np.diff(tile.src) >= 0)
+
+    def test_src_edge_start_is_csr_index(self, medium_power_law_graph):
+        tiled = TiledCSR(medium_power_law_graph, 256)
+        for tile in tiled:
+            for i, u in enumerate(tile.src_unique):
+                lo = tile.src_edge_start[i]
+                hi = tile.src_edge_start[i + 1]
+                assert np.all(tile.src[lo:hi] == u)
+
+    def test_single_tile_covers_everything(self, tiny_graph):
+        tiled = TiledCSR(tiny_graph, tiny_graph.num_vertices)
+        assert len(tiled) == 1
+        assert tiled[0].num_edges == tiny_graph.num_edges
+
+    def test_oversized_width_clamped(self, tiny_graph):
+        tiled = TiledCSR(tiny_graph, 10_000)
+        assert len(tiled) == 1
+
+    def test_weights_travel_with_edges(self, tiny_graph):
+        tiled = TiledCSR(tiny_graph, 2)
+        total_weight = sum(int(t.weight.sum()) for t in tiled)
+        assert total_weight == int(tiny_graph.weights.sum())
+
+    def test_invalid_width_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            TiledCSR(tiny_graph, 0)
+
+
+class TestPerfectTileWidth:
+    def test_matches_capacity(self):
+        # 4 KB of 8 B properties -> 512 vertices per tile
+        assert perfect_tile_width(100_000, 4096) == 512
+
+    def test_clamped_to_graph(self):
+        assert perfect_tile_width(100, 4096) == 100
+
+    def test_minimum_one(self):
+        assert perfect_tile_width(100, 4) == 1

@@ -1,0 +1,46 @@
+"""Tests for the accelerator pipeline timing model."""
+
+import pytest
+
+from repro.accel.pipeline import PipelineConfig
+
+
+class TestComputeModel:
+    def test_paper_configuration(self):
+        config = PipelineConfig()
+        assert config.num_pes == 8
+        assert config.simd_width == 8
+        assert config.lanes == 64
+        assert config.freq_ghz == 1.0
+
+    def test_compute_scales_with_edges(self):
+        config = PipelineConfig()
+        short = config.compute_ns(6400, 0)
+        long = config.compute_ns(64000, 0)
+        assert long > short
+        # 64 lanes at 1 GHz: 64 edges per ns in steady state.
+        assert long - short == pytest.approx((64000 - 6400) / 64)
+
+    def test_vertex_ops_counted(self):
+        config = PipelineConfig()
+        assert config.compute_ns(0, 640) > config.compute_ns(0, 0)
+
+    def test_tile_overhead_floor(self):
+        config = PipelineConfig(tile_overhead_cycles=100)
+        assert config.compute_ns(0, 0) == pytest.approx(100.0)
+
+
+class TestPrefetchModel:
+    def test_prefetch_enabled_full_bandwidth(self):
+        config = PipelineConfig(prefetch=True)
+        assert config.stream_bandwidth_scale(21.0, 19.2) == 1.0
+
+    def test_prefetch_disabled_limits_streams(self):
+        config = PipelineConfig(prefetch=False, no_prefetch_outstanding=4)
+        scale = config.stream_bandwidth_scale(21.0, 19.2)
+        # 4 x 64 B / 21 ns ~= 12.2 GB/s of 19.2 GB/s peak
+        assert scale == pytest.approx(12.19 / 19.2, rel=0.01)
+
+    def test_enough_outstanding_reaches_peak(self):
+        config = PipelineConfig(prefetch=False, no_prefetch_outstanding=64)
+        assert config.stream_bandwidth_scale(21.0, 19.2) == 1.0

@@ -1,0 +1,87 @@
+"""Crossbar-contention pipeline model (Sec. II-B's atomic-update path)."""
+
+import numpy as np
+import pytest
+
+from repro.accel.pipeline import PipelineConfig
+
+
+@pytest.fixture
+def flat():
+    return PipelineConfig(crossbar_model=False)
+
+
+@pytest.fixture
+def xbar():
+    return PipelineConfig(crossbar_model=True)
+
+
+class TestFlatModel:
+    def test_edges_per_lane(self, flat):
+        base = flat.compute_ns(0, 0)
+        t = flat.compute_ns(640, 0)
+        assert t - base == pytest.approx(640 / 64)
+
+    def test_vertex_ops_add_time(self, flat):
+        assert flat.compute_ns(0, 128) > flat.compute_ns(0, 0)
+
+    def test_frequency_scales(self):
+        slow = PipelineConfig(freq_ghz=0.5)
+        fast = PipelineConfig(freq_ghz=2.0)
+        assert slow.compute_ns(1000, 0) == pytest.approx(
+            4 * fast.compute_ns(1000, 0)
+        )
+
+
+class TestCrossbarModel:
+    def test_uniform_destinations_match_flat(self, flat, xbar):
+        dst = np.arange(6400, dtype=np.int64)
+        flat_t = flat.compute_ns(6400, 0)
+        xbar_t = xbar.compute_ns_for_tile(dst, 0)
+        assert xbar_t == pytest.approx(flat_t, rel=0.01)
+
+    def test_hot_destination_serialises(self, xbar, flat):
+        dst = np.zeros(6400, dtype=np.int64)  # every edge hits vertex 0
+        base = flat.compute_ns(0, 0)          # fill/drain overhead
+        hot_t = xbar.compute_ns_for_tile(dst, 0) - base
+        uniform_t = flat.compute_ns(6400, 0) - base
+        # One updater lane (8-wide) does all the work: 8x slower.
+        assert hot_t == pytest.approx(8 * uniform_t, rel=0.01)
+
+    def test_contention_bounded_by_num_pes(self, xbar, flat):
+        dst = np.zeros(6400, dtype=np.int64)
+        hot_t = xbar.compute_ns_for_tile(dst, 0)
+        assert hot_t < (xbar.num_pes + 1) * flat.compute_ns(6400, 0)
+
+    def test_flat_config_ignores_distribution(self, flat):
+        hot = np.zeros(640, dtype=np.int64)
+        uniform = np.arange(640, dtype=np.int64)
+        assert flat.compute_ns_for_tile(hot, 0) == pytest.approx(
+            flat.compute_ns_for_tile(uniform, 0)
+        )
+
+    def test_empty_tile(self, xbar):
+        t = xbar.compute_ns_for_tile(np.zeros(0, dtype=np.int64), 0)
+        assert t == pytest.approx(xbar.compute_ns(0, 0))
+
+    def test_skewed_vs_uniform_ordering(self, xbar):
+        rng = np.random.default_rng(0)
+        uniform = rng.integers(0, 1024, 8000)
+        skewed = rng.zipf(1.8, 8000) % 1024
+        assert (xbar.compute_ns_for_tile(skewed, 0)
+                > xbar.compute_ns_for_tile(uniform, 0))
+
+
+class TestSystemsIntegration:
+    def test_crossbar_slows_powerlaw_run(self):
+        from repro.accel.systems import make_system
+        from repro.graph.datasets import load_dataset
+
+        graph = load_dataset("SW")
+        flat_sys = make_system("GraphDyns (Cache)",
+                               pipeline=PipelineConfig())
+        xbar_sys = make_system("GraphDyns (Cache)",
+                               pipeline=PipelineConfig(crossbar_model=True))
+        flat_res = flat_sys.run(graph, "PR", max_iterations=2)
+        xbar_res = xbar_sys.run(graph, "PR", max_iterations=2)
+        assert xbar_res.compute_ns >= flat_res.compute_ns

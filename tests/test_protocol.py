@@ -1,0 +1,132 @@
+"""Tests for the DDR4 protocol checker and Piccolo's command compliance."""
+
+import pytest
+
+from repro.core.fim_commands import (
+    DDRCommand,
+    VirtualRowMap,
+    gather_sequence,
+    scatter_sequence,
+)
+from repro.dram.spec import DEVICES
+from repro.validate.protocol import DDR4ProtocolChecker, ProtocolViolation
+
+SPEC = DEVICES["DDR4_2400_x16"]
+
+
+def checker(strict_ras=True):
+    return DDR4ProtocolChecker(SPEC, strict_ras=strict_ras)
+
+
+class TestTimingRules:
+    def test_trcd_violation(self):
+        c = checker()
+        c.check(DDRCommand(0.0, "ACT", 0, row=1))
+        with pytest.raises(ProtocolViolation, match="tRCD"):
+            c.check(DDRCommand(SPEC.tRCD / 2, "RD", 0, row=1, col=0))
+
+    def test_trcd_satisfied(self):
+        c = checker()
+        c.check(DDRCommand(0.0, "ACT", 0, row=1))
+        c.check(DDRCommand(SPEC.tRCD, "RD", 0, row=1, col=0))
+        assert c.commands_checked == 2
+
+    def test_tccd_violation(self):
+        c = checker()
+        c.check(DDRCommand(0.0, "ACT", 0, row=1))
+        c.check(DDRCommand(SPEC.tRCD, "RD", 0, row=1, col=0))
+        with pytest.raises(ProtocolViolation, match="tCCD"):
+            c.check(DDRCommand(SPEC.tRCD + SPEC.tCCD / 2, "RD", 0, row=1, col=8))
+
+    def test_tras_violation(self):
+        c = checker()
+        c.check(DDRCommand(0.0, "ACT", 0, row=1))
+        with pytest.raises(ProtocolViolation, match="tRAS"):
+            c.check(DDRCommand(SPEC.tRAS / 2, "PRE", 0))
+
+    def test_trp_violation(self):
+        c = checker()
+        c.check(DDRCommand(0.0, "ACT", 0, row=1))
+        c.check(DDRCommand(SPEC.tRAS, "PRE", 0))
+        with pytest.raises(ProtocolViolation, match="tRP"):
+            c.check(DDRCommand(SPEC.tRAS + SPEC.tRP / 2, "ACT", 0, row=2))
+
+    def test_twr_violation(self):
+        c = checker(strict_ras=False)
+        c.check(DDRCommand(0.0, "ACT", 0, row=1))
+        t = SPEC.tRCD
+        c.check(DDRCommand(t, "WR", 0, row=1, col=0, data=(1,)))
+        with pytest.raises(ProtocolViolation, match="tWR"):
+            c.check(DDRCommand(t + SPEC.tBURST + SPEC.tWR / 2, "PRE", 0))
+
+    def test_rd_without_open_row(self):
+        c = checker()
+        with pytest.raises(ProtocolViolation, match="no open row"):
+            c.check(DDRCommand(0.0, "RD", 0, row=1, col=0))
+
+    def test_wrong_open_row(self):
+        c = checker()
+        c.check(DDRCommand(0.0, "ACT", 0, row=1))
+        with pytest.raises(ProtocolViolation, match="not the open row"):
+            c.check(DDRCommand(SPEC.tRCD, "RD", 0, row=2, col=0))
+
+    def test_double_activate(self):
+        c = checker()
+        c.check(DDRCommand(0.0, "ACT", 0, row=1))
+        with pytest.raises(ProtocolViolation, match="already"):
+            c.check(DDRCommand(100.0, "ACT", 0, row=2))
+
+    def test_banks_independent(self):
+        c = checker()
+        c.check(DDRCommand(0.0, "ACT", 0, row=1))
+        c.check(DDRCommand(1.0, "ACT", 1, row=5))  # different bank: legal
+        assert c.commands_checked == 2
+
+
+class TestPiccoloCompliance:
+    """Replaying Sec. VI sequences through the standard checker -- the
+    reproduction's substitute for the paper's FPGA validation."""
+
+    def _activated(self, c, vmap, bank=0, t0=-100.0):
+        c.check(DDRCommand(t0, "ACT", bank, row=vmap.row_y))
+
+    def test_gather_sequence_is_protocol_legal(self):
+        vmap = VirtualRowMap(physical_rows=32)
+        c = checker(strict_ras=False)
+        self._activated(c, vmap)
+        cmds = gather_sequence(SPEC, vmap, 0, list(range(8)), start_ns=0.0)
+        c.check_sequence(cmds)
+        assert c.commands_checked == 1 + len(cmds)
+
+    def test_scatter_sequence_is_protocol_legal(self):
+        vmap = VirtualRowMap(physical_rows=32)
+        c = checker(strict_ras=False)
+        self._activated(c, vmap)
+        cmds = scatter_sequence(
+            SPEC, vmap, 0, list(range(8)), [0] * 8, start_ns=0.0
+        )
+        c.check_sequence(cmds)
+
+    def test_gather_gap_covers_eight_tccd(self):
+        """The headline feasibility numbers of Sec. VI."""
+        c = checker()
+        assert c.window_covers_internal_op(8)
+        assert 8 * SPEC.tCCD == pytest.approx(40.0, abs=0.2)
+        assert SPEC.fim_internal_window == pytest.approx(41.67, abs=0.1)
+
+    def test_all_devices_window_check(self):
+        for spec in DEVICES.values():
+            c = DDR4ProtocolChecker(spec)
+            assert c.window_covers_internal_op(spec.fim_items_per_op), spec.name
+
+    def test_non_standard_command_rejected(self):
+        c = checker()
+        cmd = DDRCommand.__new__(DDRCommand)
+        object.__setattr__(cmd, "time_ns", 0.0)
+        object.__setattr__(cmd, "kind", "GATHER_EXECUTE")
+        object.__setattr__(cmd, "bank", 0)
+        object.__setattr__(cmd, "row", None)
+        object.__setattr__(cmd, "col", None)
+        object.__setattr__(cmd, "data", None)
+        with pytest.raises(ProtocolViolation, match="non-standard"):
+            c.check(cmd)

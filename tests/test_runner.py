@@ -1,0 +1,122 @@
+"""Tests for the experiment runner and figure helpers (fast subsets)."""
+
+import pytest
+
+from repro.accel.base import SystemResult
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.runner import (
+    clear_result_cache,
+    geomean_speedups,
+    run_system,
+    speedup_table,
+)
+
+
+class TestRunSystem:
+    def test_returns_result(self):
+        result = run_system("Piccolo", "PR", "UU", max_iterations=1)
+        assert isinstance(result, SystemResult)
+        assert result.system == "Piccolo"
+        assert result.dataset == "UU"
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError, match="unknown system"):
+            run_system("FPGA", "PR", "UU")
+
+    def test_memoisation_returns_same_object(self):
+        clear_result_cache()
+        a = run_system("PIM", "PR", "UU", max_iterations=1)
+        b = run_system("PIM", "PR", "UU", max_iterations=1)
+        assert a is b
+
+    def test_tile_scale_busts_cache(self):
+        clear_result_cache()
+        a = run_system("Piccolo", "PR", "UU", max_iterations=1, tile_scale=1)
+        b = run_system("Piccolo", "PR", "UU", max_iterations=1, tile_scale=4)
+        assert a is not b
+        assert a.tile_width != b.tile_width
+
+    def test_iteration_cap_from_scale(self):
+        clear_result_cache()
+        result = run_system("PIM", "PR", "UU")
+        assert result.iterations <= DEFAULT_SCALE.iterations_for("PR")
+
+    def test_spm_gets_spm_budget(self):
+        result = run_system("Graphicionado", "PR", "UU", max_iterations=1)
+        assert result.onchip_bytes == DEFAULT_SCALE.spm_bytes
+
+
+class TestSpeedupTable:
+    def _fake(self, system, ns):
+        return SystemResult(system=system, algorithm="PR", dataset="X",
+                            total_ns=ns)
+
+    def test_normalises_to_baseline(self):
+        results = {
+            ("GraphDyns (Cache)", "PR", "X"): self._fake("b", 100.0),
+            ("Piccolo", "PR", "X"): self._fake("p", 50.0),
+        }
+        table = speedup_table(results)
+        assert table[("Piccolo", "PR", "X")] == pytest.approx(2.0)
+        assert table[("GraphDyns (Cache)", "PR", "X")] == pytest.approx(1.0)
+
+    def test_missing_baseline_raises(self):
+        results = {("Piccolo", "PR", "X"): self._fake("p", 50.0)}
+        with pytest.raises(KeyError, match="missing baseline"):
+            speedup_table(results)
+
+    def test_geomean_by_system(self):
+        table = {
+            ("Piccolo", "PR", "X"): 2.0,
+            ("Piccolo", "PR", "Y"): 8.0,
+            ("PIM", "PR", "X"): 0.5,
+        }
+        gm = geomean_speedups(table)
+        assert gm["Piccolo"] == pytest.approx(4.0)
+        assert gm["PIM"] == pytest.approx(0.5)
+
+
+class TestExperimentScale:
+    def test_default_iterations(self):
+        scale = ExperimentScale()
+        assert scale.iterations_for("PR") == 3
+        assert scale.iterations_for("BFS") == 40
+        assert scale.iterations_for("UNKNOWN") == 40
+
+    def test_dram_default_matches_paper(self):
+        config = DEFAULT_SCALE.dram()
+        assert config.ranks == 4
+        assert config.spec.name == "DDR4_2400_x16"
+
+    def test_dram_overrides(self):
+        config = DEFAULT_SCALE.dram(ranks=2)
+        assert config.ranks == 2
+
+
+class TestFigureHelpers:
+    def test_figure_3_small(self):
+        from repro.experiments.figures import figure_3
+
+        rows = figure_3(datasets=("SW",))
+        assert len(rows) == 2
+        modes = {r["mode"] for r in rows}
+        assert modes == {"Non-Tiling", "Perfect Tiling"}
+
+    def test_figure_10_small(self):
+        from repro.experiments.figures import figure_10
+
+        rows = figure_10(
+            datasets=("UU",), algorithms=("BFS",),
+            systems=("GraphDyns (Cache)", "Piccolo"),
+        )
+        gm_rows = [r for r in rows if r["algorithm"] == "GM"]
+        assert len(gm_rows) == 2
+        cell = {r["system"]: r["speedup"] for r in rows
+                if r["algorithm"] == "BFS"}
+        assert cell["GraphDyns (Cache)"] == pytest.approx(1.0)
+
+    def test_figure_19b_small(self):
+        from repro.experiments.figures import figure_19b
+
+        rows = figure_19b(num_rows=1 << 12)
+        assert {r["query"] for r in rows} == {"Qa", "Qb", "Qc", "Qd"}

@@ -1,0 +1,105 @@
+"""Cross-system coherence: timing models must not change the work.
+
+All six systems replay traces from the same functional engine, so for
+a fixed (graph, algorithm, tile width) they must agree on everything
+the *algorithm* determines -- iterations, edges processed, vertex
+applies -- and differ only in how long the memory system takes.  The
+monotonicity checks then pin the directions the paper's sensitivity
+studies rely on (more ranks and more cache never hurt).
+"""
+
+import pytest
+
+from repro.accel.systems import SYSTEM_ORDER, make_system
+from repro.dram.spec import DEVICES, DRAMConfig
+from repro.graph.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("UU")
+
+
+@pytest.fixture(scope="module")
+def results(graph):
+    out = {}
+    for name in SYSTEM_ORDER:
+        system = make_system(name)
+        out[name] = system.run(graph, "BFS", max_iterations=12)
+    return out
+
+
+class TestFunctionalAgreement:
+    def test_iteration_counts_agree(self, results):
+        counts = {r.iterations for r in results.values()}
+        assert len(counts) == 1
+
+    def test_edges_processed_agree(self, results):
+        # Tiling splits the same edge set differently, but the total
+        # traversed edge count is algorithm-determined.
+        edges = {r.edges_processed for r in results.values()}
+        assert len(edges) == 1
+
+    def test_all_systems_positive_time(self, results):
+        for name, result in results.items():
+            assert result.total_ns > 0, name
+
+    def test_cache_systems_memory_bound(self, results):
+        # Sec. I: graph processing is memory-bound.  (The scratchpad
+        # baselines are exempt on the sparse UU graph: perfect tiling
+        # multiplies per-tile pipeline overheads -- exactly why they
+        # underperform there, Sec. VII-C.)
+        for name in ("GraphDyns (Cache)", "NMP", "PIM", "Piccolo"):
+            result = results[name]
+            assert result.memory_ns > result.compute_ns, name
+
+
+class TestOrderings:
+    def test_piccolo_beats_cache_baseline(self, results):
+        assert (results["Piccolo"].total_ns
+                < results["GraphDyns (Cache)"].total_ns)
+
+    def test_piccolo_moves_fewer_offchip_bytes(self, results):
+        piccolo = results["Piccolo"].dram
+        baseline = results["GraphDyns (Cache)"].dram
+        assert (piccolo.read_bytes + piccolo.write_bytes
+                < baseline.read_bytes + baseline.write_bytes)
+
+    def test_pim_has_internal_traffic(self, results):
+        assert results["PIM"].dram.internal_words > 0
+
+    def test_only_fim_systems_issue_gathers(self, results):
+        for name, result in results.items():
+            gathers = result.dram.fim_gathers + result.dram.fim_scatters
+            if name in ("Piccolo", "NMP"):
+                assert gathers > 0, name
+            else:
+                assert gathers == 0, name
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("system_name", ["GraphDyns (Cache)", "Piccolo"])
+    def test_more_ranks_never_hurt(self, graph, system_name):
+        times = []
+        for ranks in (1, 2, 4):
+            config = DRAMConfig(spec=DEVICES["DDR4_2400_x16"],
+                                channels=1, ranks=ranks)
+            system = make_system(system_name, dram_config=config)
+            times.append(system.run(graph, "PR", max_iterations=2).total_ns)
+        assert times[0] >= times[1] * 0.98 >= times[2] * 0.96
+
+    def test_larger_cache_never_hurts_piccolo(self, graph):
+        times = []
+        for size in (4096, 16384):
+            system = make_system("Piccolo", onchip_bytes=size)
+            times.append(system.run(graph, "PR", max_iterations=2).total_ns)
+        assert times[1] <= times[0] * 1.02
+
+    def test_two_channels_help(self, graph):
+        times = []
+        for channels in (1, 2):
+            config = DRAMConfig(spec=DEVICES["DDR4_2400_x16"],
+                                channels=channels, ranks=4)
+            system = make_system("Piccolo", dram_config=config)
+            times.append(system.run(graph, "PR", max_iterations=2).total_ns)
+        assert times[1] < times[0]

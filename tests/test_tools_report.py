@@ -1,0 +1,80 @@
+"""The bench-output report generator in tools/."""
+
+import pathlib
+import sys
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from generate_report import headline_numbers, parse_tables  # noqa: E402
+
+SAMPLE = """\
+some pytest noise
+=== Fig. 10: overall speedup ===
+     algorithm         dataset          system         speedup        total_ns
+            PR              UU         Piccolo           1.880      332963.333
+            GM               -         Piccolo           1.812             nan
+            GM               -             NMP           1.234             nan
+.
+GM transaction reduction: 45.4 %
+GM energy saving: 40.6 %
+mean OLAP speedup: 3.80x
+=== Fig. 12: normalised memory accesses ===
+     algorithm         dataset          system      total_norm
+            PR              UU         Piccolo           0.532
+"""
+
+
+class TestParseTables:
+    def test_titles_extracted(self):
+        tables = parse_tables(SAMPLE)
+        assert "Fig. 10: overall speedup" in tables
+        assert "Fig. 12: normalised memory accesses" in tables
+
+    def test_rows_typed(self):
+        tables = parse_tables(SAMPLE)
+        rows = tables["Fig. 10: overall speedup"]
+        assert rows[0]["speedup"] == pytest.approx(1.880)
+        assert rows[0]["dataset"] == "UU"
+
+    def test_ragged_lines_stop_table(self):
+        tables = parse_tables(SAMPLE)
+        rows = tables["Fig. 10: overall speedup"]
+        # The lone "." progress marker must terminate the table.
+        assert all("speedup" in r for r in rows)
+
+    def test_multiword_system_names_merge(self):
+        sample = (
+            "=== Fig. 10: overall speedup ===\n"
+            "     algorithm  dataset   system   speedup\n"
+            "            PR       UU  GraphDyns (Cache)   1.000\n"
+            "            PR       UU  GraphDyns (SPM)   0.900\n"
+        )
+        rows = parse_tables(sample)["Fig. 10: overall speedup"]
+        assert rows[0]["system"] == "GraphDyns (Cache)"
+        assert rows[1]["system"] == "GraphDyns (SPM)"
+        assert rows[1]["speedup"] == pytest.approx(0.9)
+
+
+class TestHeadlines:
+    def test_fig10_gm_found(self):
+        tables = parse_tables(SAMPLE)
+        numbers = headline_numbers(tables, SAMPLE)
+        assert numbers["fig10_gm"] == pytest.approx(1.812)
+
+    def test_fig10_max_excludes_gm(self):
+        tables = parse_tables(SAMPLE)
+        numbers = headline_numbers(tables, SAMPLE)
+        assert numbers["fig10_max"] == pytest.approx(1.880)
+
+    def test_percent_patterns(self):
+        numbers = headline_numbers({}, SAMPLE)
+        assert numbers["fig12_reduction"] == pytest.approx(0.454)
+        assert numbers["fig14_saving"] == pytest.approx(0.406)
+        assert numbers["fig19b_mean"] == pytest.approx(3.80)
+
+    def test_missing_are_absent(self):
+        numbers = headline_numbers({}, "nothing here")
+        assert "fig12_reduction" not in numbers

@@ -1,0 +1,166 @@
+"""Tests for the vertex-centric engine: correctness against oracles and
+tiling invariance (the engine's results must not depend on tile width)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.algorithms.bfs import reference_bfs
+from repro.algorithms.cc import reference_cc
+from repro.algorithms.pagerank import reference_pagerank
+from repro.algorithms.sssp import reference_sssp
+from repro.algorithms.sswp import reference_sswp
+from repro.algorithms.vcm import VertexCentricEngine
+
+
+def run_engine(graph, algorithm, tile_width=None, iterations=64, **kwargs):
+    spec = make_algorithm(algorithm, graph, **kwargs)
+    engine = VertexCentricEngine(spec, tile_width)
+    engine.run(iterations)
+    return engine
+
+
+class TestPageRank:
+    def test_matches_reference(self, small_random_graph):
+        engine = run_engine(small_random_graph, "PR", iterations=10)
+        ref = reference_pagerank(small_random_graph, iterations=10)
+        np.testing.assert_allclose(engine.prop, ref, rtol=1e-9)
+
+    def test_tiling_invariance(self, medium_power_law_graph):
+        whole = run_engine(medium_power_law_graph, "PR", iterations=5)
+        tiled = run_engine(
+            medium_power_law_graph, "PR", tile_width=100, iterations=5
+        )
+        np.testing.assert_allclose(whole.prop, tiled.prop, rtol=1e-12)
+
+    def test_ranks_form_distribution(self, medium_power_law_graph):
+        engine = run_engine(medium_power_law_graph, "PR", iterations=30)
+        assert engine.prop.min() > 0
+        # Dangling vertices leak mass, so the sum is at most 1.
+        assert engine.prop.sum() <= 1.0 + 1e-9
+
+    def test_converges_and_deactivates(self, tiny_graph):
+        engine = run_engine(tiny_graph, "PR", iterations=500)
+        assert engine.converged()
+
+
+class TestBFS:
+    def test_matches_reference(self, medium_power_law_graph):
+        engine = run_engine(medium_power_law_graph, "BFS")
+        ref = reference_bfs(medium_power_law_graph, 0)
+        assert np.array_equal(engine.prop, ref)
+
+    def test_tiling_invariance(self, medium_power_law_graph):
+        whole = run_engine(medium_power_law_graph, "BFS")
+        tiled = run_engine(medium_power_law_graph, "BFS", tile_width=77)
+        assert np.array_equal(whole.prop, tiled.prop)
+
+    def test_frontier_is_sparse(self, medium_power_law_graph):
+        spec = make_algorithm("BFS", medium_power_law_graph)
+        engine = VertexCentricEngine(spec)
+        first = engine.step()
+        assert first.active_vertices == 1
+
+    def test_unreachable_stays_infinite(self, tiny_graph):
+        # Vertex ids 0..5 form a cycle plus branches; all reachable from 0.
+        engine = run_engine(tiny_graph, "BFS")
+        assert np.all(np.isfinite(engine.prop))
+
+    def test_source_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            make_algorithm("BFS", tiny_graph, source=100)
+
+
+class TestCC:
+    def test_matches_reference(self, small_random_graph):
+        engine = run_engine(small_random_graph, "CC", iterations=200)
+        ref = reference_cc(small_random_graph)
+        assert np.array_equal(engine.prop, ref)
+
+    def test_tiling_invariance(self, small_random_graph):
+        whole = run_engine(small_random_graph, "CC", iterations=200)
+        tiled = run_engine(small_random_graph, "CC", tile_width=50,
+                           iterations=200)
+        assert np.array_equal(whole.prop, tiled.prop)
+
+    def test_ring_collapses_to_zero(self):
+        from repro.graph.csr import CSRGraph
+
+        n = 8
+        src = np.arange(n)
+        dst = (src + 1) % n
+        ring = CSRGraph.from_edges(n, src, dst)
+        engine = run_engine(ring, "CC", iterations=100)
+        assert np.all(engine.prop == 0)
+
+
+class TestSSSP:
+    def test_matches_dijkstra(self, medium_power_law_graph):
+        engine = run_engine(medium_power_law_graph, "SSSP", iterations=200)
+        ref = reference_sssp(medium_power_law_graph, 0)
+        np.testing.assert_allclose(engine.prop, ref)
+
+    def test_tiling_invariance(self, medium_power_law_graph):
+        whole = run_engine(medium_power_law_graph, "SSSP", iterations=200)
+        tiled = run_engine(
+            medium_power_law_graph, "SSSP", tile_width=123, iterations=200
+        )
+        assert np.array_equal(whole.prop, tiled.prop)
+
+    def test_negative_weights_rejected(self, tiny_graph):
+        bad = tiny_graph.with_weights(np.full(7, -1))
+        with pytest.raises(ValueError):
+            make_algorithm("SSSP", bad)
+
+
+class TestSSWP:
+    def test_matches_reference(self, medium_power_law_graph):
+        engine = run_engine(medium_power_law_graph, "SSWP", iterations=200)
+        ref = reference_sswp(medium_power_law_graph, 0)
+        np.testing.assert_allclose(engine.prop, ref)
+
+    def test_source_width_infinite(self, tiny_graph):
+        engine = run_engine(tiny_graph, "SSWP")
+        assert engine.prop[0] == np.inf
+
+    def test_width_bounded_by_max_weight(self, medium_power_law_graph):
+        engine = run_engine(medium_power_law_graph, "SSWP", iterations=200)
+        finite = engine.prop[np.isfinite(engine.prop)]
+        if finite.size:
+            assert finite.max() <= medium_power_law_graph.weights.max()
+
+
+class TestTraces:
+    def test_edges_match_active_sources(self, medium_power_law_graph):
+        spec = make_algorithm("BFS", medium_power_law_graph)
+        engine = VertexCentricEngine(spec, tile_width=128)
+        trace = engine.step()
+        # First iteration: only the source's edges are traversed.
+        expected = medium_power_law_graph.out_degrees()[0]
+        assert trace.num_edges == expected
+
+    def test_pagerank_trace_covers_all_edges(self, medium_power_law_graph):
+        spec = make_algorithm("PR", medium_power_law_graph)
+        engine = VertexCentricEngine(spec, tile_width=100)
+        trace = engine.step()
+        assert trace.num_edges == medium_power_law_graph.num_edges
+
+    def test_changed_subset_of_apply(self, medium_power_law_graph):
+        spec = make_algorithm("CC", medium_power_law_graph)
+        engine = VertexCentricEngine(spec, tile_width=200)
+        trace = engine.step()
+        for tile in trace.tiles:
+            assert set(tile.changed_dst).issubset(set(tile.apply_dst))
+
+    def test_run_iter_stops_at_convergence(self, tiny_graph):
+        spec = make_algorithm("BFS", tiny_graph)
+        engine = VertexCentricEngine(spec)
+        traces = list(engine.run_iter(64))
+        assert engine.converged()
+        assert traces[-1].next_active == 0
+
+    def test_max_iterations_validated(self, tiny_graph):
+        spec = make_algorithm("BFS", tiny_graph)
+        engine = VertexCentricEngine(spec)
+        with pytest.raises(ValueError):
+            list(engine.run_iter(0))

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Summarise a benchmark run into a compact reproduction report.
+
+Parses the ``=== Fig. ... ===`` tables that the benches print (see
+``benchmarks/conftest.py``) from a ``bench_output.txt`` produced by::
+
+    pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+and emits a short markdown summary of the headline numbers next to the
+paper's values.
+
+Usage:  python tools/generate_report.py [bench_output.txt]
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+PAPER_HEADLINES = {
+    "fig10_gm": ("Fig. 10 GM speedup (Piccolo)", 1.62),
+    "fig10_max": ("Fig. 10 max speedup (Piccolo)", 3.28),
+    "fig12_reduction": ("Fig. 12 GM transaction reduction", 0.432),
+    "fig14_saving": ("Fig. 14 GM energy saving", 0.373),
+    "fig19b_mean": ("Fig. 19b mean OLAP speedup", 3.8),
+    "fig20b_slowdown": ("Fig. 20b no-prefetch GM slowdown", 0.228),
+}
+
+
+def _parse_row(header: list[str], cells: list[str]) -> dict | None:
+    """Map cells onto the header, merging multi-word text cells.
+
+    Values like ``GraphDyns (Cache)`` split into several cells; the
+    numeric columns sit at the end of the line, so overflow cells are
+    folded into the last textual column.
+    """
+    if len(cells) < len(header):
+        return None
+    overflow = len(cells) - len(header)
+    # Count trailing numeric cells; the overflow belongs to the last
+    # non-numeric column before them.
+    tail = 0
+    for cell in reversed(cells):
+        try:
+            float(cell)
+        except ValueError:
+            break
+        tail += 1
+    text_cols = len(header) - tail
+    if text_cols < 1 and overflow:
+        return None
+    merged = cells[: text_cols - 1]
+    merged.append(" ".join(cells[text_cols - 1: text_cols + overflow]))
+    merged.extend(cells[text_cols + overflow:])
+    if len(merged) != len(header):
+        return None
+    row = {}
+    for key, cell in zip(header, merged):
+        try:
+            row[key] = float(cell)
+        except ValueError:
+            row[key] = cell
+    return row
+
+
+def parse_tables(text: str) -> dict[str, list[dict]]:
+    """Extract each printed table as a list of row dicts."""
+    tables: dict[str, list[dict]] = {}
+    blocks = re.split(r"^=== (.+) ===$", text, flags=re.MULTILINE)
+    for i in range(1, len(blocks) - 1, 2):
+        title, body = blocks[i], blocks[i + 1]
+        lines = [ln for ln in body.splitlines() if ln.strip()]
+        if not lines:
+            continue
+        header = lines[0].split()
+        rows = []
+        for line in lines[1:]:
+            row = _parse_row(header, line.split())
+            if row is None:
+                break
+            rows.append(row)
+        tables[title] = rows
+    return tables
+
+
+def headline_numbers(tables: dict[str, list[dict]], text: str) -> dict[str, float]:
+    out: dict[str, float] = {}
+    fig10 = next(
+        (rows for title, rows in tables.items() if title.startswith("Fig. 10")),
+        None,
+    )
+    if fig10:
+        gm = [r for r in fig10 if r.get("algorithm") == "GM"]
+        piccolo_gm = [r for r in gm if r.get("system") == "Piccolo"]
+        if piccolo_gm:
+            out["fig10_gm"] = piccolo_gm[0]["speedup"]
+        cells = [
+            r["speedup"] for r in fig10
+            if r.get("system") == "Piccolo" and r.get("algorithm") != "GM"
+        ]
+        if cells:
+            out["fig10_max"] = max(cells)
+    def _gm(values: list[float]) -> float | None:
+        values = [v for v in values if v and v > 0]
+        if not values:
+            return None
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    def _table(prefix: str) -> list[dict]:
+        return next((rows for title, rows in tables.items()
+                     if title.startswith(prefix)), [])
+
+    gm12 = _gm([r["total_norm"] for r in _table("Fig. 12")
+                if r.get("system") == "Piccolo" and "total_norm" in r])
+    if gm12 is not None:
+        out["fig12_reduction"] = 1.0 - gm12
+    gm14 = _gm([r["total_norm"] for r in _table("Fig. 14")
+                if r.get("system") == "Piccolo" and "total_norm" in r])
+    if gm14 is not None:
+        out["fig14_saving"] = 1.0 - gm14
+    olap = [r["speedup"] for r in _table("Fig. 19b") if "speedup" in r]
+    if olap:
+        out["fig19b_mean"] = sum(olap) / len(olap)
+    gm20b = _gm([r["norm_perf_without"] for r in _table("Fig. 20b")
+                 if "norm_perf_without" in r])
+    if gm20b is not None:
+        out["fig20b_slowdown"] = 1.0 - gm20b
+
+    patterns = {
+        "fig12_reduction": r"GM transaction reduction:\s+([\d.]+)\s*%",
+        "fig14_saving": r"GM energy saving:\s+([\d.]+)\s*%",
+        "fig19b_mean": r"mean OLAP speedup:\s+([\d.]+)x",
+        "fig20b_slowdown": r"slowdown without prefetching:\s+([\d.]+)\s*%",
+    }
+    for key, pattern in patterns.items():
+        if key in out:
+            continue
+        match = re.search(pattern, text)
+        if match:
+            value = float(match.group(1))
+            out[key] = value / 100.0 if "%" in pattern else value
+    return out
+
+
+def main(path: str = "bench_output.txt") -> int:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    tables = parse_tables(text)
+    numbers = headline_numbers(tables, text)
+    print("# Reproduction report\n")
+    print(f"parsed {len(tables)} figure tables from {path}\n")
+    print(f"| headline | paper | measured |")
+    print(f"|---|---|---|")
+    for key, (label, paper_value) in PAPER_HEADLINES.items():
+        measured = numbers.get(key)
+        shown = f"{measured:.3g}" if measured is not None else "(missing)"
+        print(f"| {label} | {paper_value:g} | {shown} |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"))

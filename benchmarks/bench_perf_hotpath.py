@@ -1,0 +1,74 @@
+"""Hot-path perf smoke: the batched memory path must beat the scalar loop.
+
+A CI-sized companion to ``tools/perf_report.py`` (which records the full
+trajectory in ``BENCH_hotpath.json``): runs the quick PR cells once in
+both execution modes and asserts the batched engine delivers a real
+speedup over the seed-identical scalar fallback.  The threshold is
+deliberately conservative (CI machines are noisy); the recorded
+trajectory is where the honest numbers live.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_hotpath.py -q
+"""
+
+import time
+
+from repro.core import memory_path
+from repro.experiments.runner import clear_result_cache, run_system
+
+CELLS = [
+    ("Piccolo", "PR", "TW", 3),
+    ("GraphDyns (Cache)", "PR", "TW", 3),
+]
+
+
+def _time_cells(batched: bool) -> float:
+    previous = memory_path.BATCHED_DEFAULT
+    memory_path.BATCHED_DEFAULT = batched
+    try:
+        total = 0.0
+        for system, algorithm, dataset, iters in CELLS:
+            clear_result_cache()
+            start = time.perf_counter()
+            run_system(system, algorithm, dataset, max_iterations=iters)
+            total += time.perf_counter() - start
+        return total
+    finally:
+        memory_path.BATCHED_DEFAULT = previous
+
+
+def test_batched_path_beats_scalar_fallback(capsys):
+    run_system("Piccolo", "PR", "TW", max_iterations=1)  # warm dataset cache
+    scalar = _time_cells(batched=False)
+    batched = _time_cells(batched=True)
+    with capsys.disabled():
+        print(
+            f"\nhotpath smoke: scalar {scalar:.2f}s, batched {batched:.2f}s, "
+            f"speedup {scalar / batched:.2f}x"
+        )
+    # full-grid trajectory shows ~8-17x; require a safe margin in CI
+    assert batched < scalar / 2.0, (
+        f"batched path regressed: {batched:.2f}s vs scalar {scalar:.2f}s"
+    )
+
+
+def test_results_identical_across_modes():
+    """Both modes must produce the same simulation, not just similar."""
+    clear_result_cache()
+    previous = memory_path.BATCHED_DEFAULT
+    try:
+        memory_path.BATCHED_DEFAULT = True
+        fast = run_system("Piccolo", "PR", "TW", max_iterations=2)
+        clear_result_cache()
+        memory_path.BATCHED_DEFAULT = False
+        slow = run_system("Piccolo", "PR", "TW", max_iterations=2)
+    finally:
+        memory_path.BATCHED_DEFAULT = previous
+    clear_result_cache()
+    assert fast.total_ns == slow.total_ns
+    assert fast.cache_hits == slow.cache_hits
+    assert fast.cache_misses == slow.cache_misses
+    assert fast.dram.read_bursts == slow.dram.read_bursts
+    assert fast.dram.write_bursts == slow.dram.write_bursts
+    assert fast.mshr_ops == slow.mshr_ops

@@ -102,7 +102,12 @@ class _VCMSystem(AcceleratorSystem):
         tile_width: int | None = None,
     ) -> SystemResult:
         spec = make_algorithm(algorithm, graph)
-        width = tile_width if tile_width else self.choose_tile_width(graph)
+        if tile_width is not None and tile_width < 1:
+            raise ValueError(f"tile_width must be >= 1, got {tile_width}")
+        width = (
+            tile_width if tile_width is not None
+            else self.choose_tile_width(graph)
+        )
         engine = VertexCentricEngine(spec, width)
         result = SystemResult(
             system=self.name,

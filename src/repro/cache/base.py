@@ -13,6 +13,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
+import numpy as np
+
 
 class AccessResult(NamedTuple):
     """Physical consequence of one cache access.
@@ -61,6 +63,35 @@ class CacheStats:
         self.writeback_bytes = self.fill_bytes = self.requested_bytes = 0
 
 
+@dataclass
+class BatchResult:
+    """Physical consequence of a whole batch of accesses.
+
+    The event stream is the exact concatenation the scalar loop would
+    have produced: for every access, in order, its fill request (when it
+    missed) followed by its dirty write-backs.  Consumers that only need
+    the DRAM request stream can therefore use the arrays directly
+    without replaying per-access results.
+
+    Attributes:
+        accesses: number of accesses in the batch.
+        hits: how many of them hit.
+        ev_addr: byte address of each fill/write-back event, in order.
+        ev_is_wb: True where the event is a write-back, False for fills.
+        ev_bytes: size of each event in bytes.
+    """
+
+    accesses: int
+    hits: int
+    ev_addr: np.ndarray
+    ev_is_wb: np.ndarray
+    ev_bytes: np.ndarray
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+
 class BaseCache(ABC):
     """Interface every cache design implements."""
 
@@ -70,6 +101,50 @@ class BaseCache(ABC):
     @abstractmethod
     def access(self, addr: int, is_write: bool) -> AccessResult:
         """Perform one 8-byte-granularity access."""
+
+    def access_many(self, addrs: np.ndarray, is_write: bool) -> BatchResult:
+        """Perform a batch of 8-byte accesses.
+
+        The default implementation is an exact scalar fallback: it loops
+        :meth:`access` and packs the resulting fills/write-backs into a
+        :class:`BatchResult`.  Array-backed designs override this with a
+        vectorized engine; every override must stay event-for-event
+        identical to this loop (the batched-equivalence suite enforces
+        it).
+        """
+        ev_addr: list[int] = []
+        ev_is_wb: list[bool] = []
+        ev_bytes: list[int] = []
+        hits = 0
+        access = self.access
+        addr_list = np.asarray(addrs, dtype=np.int64).tolist()
+        for addr in addr_list:
+            hit, fill_addr, fill_bytes, writebacks = access(addr, is_write)
+            if hit:
+                hits += 1
+            else:
+                ev_addr.append(fill_addr)
+                ev_is_wb.append(False)
+                ev_bytes.append(fill_bytes)
+            if writebacks:
+                for wb_addr, wb_bytes in writebacks:
+                    ev_addr.append(wb_addr)
+                    ev_is_wb.append(True)
+                    ev_bytes.append(wb_bytes)
+        return BatchResult(
+            accesses=len(addr_list),
+            hits=hits,
+            ev_addr=np.asarray(ev_addr, dtype=np.int64),
+            ev_is_wb=np.asarray(ev_is_wb, dtype=bool),
+            ev_bytes=np.asarray(ev_bytes, dtype=np.int64),
+        )
+
+    def state_digest(self) -> bytes | None:
+        """Canonical digest of the replacement state, or None when the
+        design does not support exact batch replay (scalar-only
+        variants).  Two caches with equal digests must behave
+        identically on any future access stream."""
+        return None
 
     @abstractmethod
     def flush(self) -> list[tuple[int, int]]:

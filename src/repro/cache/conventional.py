@@ -5,11 +5,24 @@ full burst even when the program needs 8 bytes -- the bandwidth waste the
 motivational experiment quantifies (Fig. 3).  To reproduce that figure's
 useful/unuseful split, each line tracks which 8 B words were actually
 touched (and which are dirty); the counts are settled at eviction time.
+
+Storage layout (batched engine, PERFORMANCE.md): per-set line state
+lives in contiguous NumPy arrays (block id, dirty mask, touched mask,
+recency stamp) instead of per-line Python lists.  :meth:`access` walks
+the arrays one address at a time; :meth:`access_many` compresses the
+batch into runs of consecutive same-block accesses (after the first
+access of a run the line is resident and MRU, so the rest are pure
+mask updates), materialises the touched sets into flat structures, and
+replays the runs in one tight loop.
 """
 
 from __future__ import annotations
 
-from repro.cache.base import AccessResult, BaseCache
+import hashlib
+
+import numpy as np
+
+from repro.cache.base import AccessResult, BaseCache, BatchResult
 from repro.utils.units import log2_exact
 
 
@@ -42,8 +55,17 @@ class ConventionalCache(BaseCache):
         self._set_mask = self.num_sets - 1
         self._words_per_line = max(1, line_bytes // 8)
         log2_exact(self.num_sets)
-        # Per set: MRU-first list of [block, dirty_mask, touched_mask].
-        self._sets: list[list[list]] = [[] for _ in range(self.num_sets)]
+        if self._words_per_line > 63:
+            raise ValueError(
+                "words_per_line > 63 exceeds the int64 touched-mask width"
+            )
+        # Array-backed line state (block -1 = invalid way).
+        shape = (self.num_sets, ways)
+        self._block = np.full(shape, -1, dtype=np.int64)
+        self._dirty = np.zeros(shape, dtype=np.int64)
+        self._touched = np.zeros(shape, dtype=np.int64)
+        self._ord = np.zeros(shape, dtype=np.int64)
+        self._clock = 1
         #: bytes of fetched lines actually consumed before eviction and
         #: bytes of written-back lines actually dirty (Fig. 3 accounting)
         self.useful_fill_bytes = 0
@@ -57,25 +79,33 @@ class ConventionalCache(BaseCache):
         block = addr >> self._line_shift
         set_idx = block & self._set_mask
         word_bit = 1 << ((addr >> 3) & (self._words_per_line - 1))
-        ways = self._sets[set_idx]
-        for i, entry in enumerate(ways):
-            if entry[0] == block:
+        block_row = self._block[set_idx].tolist()
+        for w, b in enumerate(block_row):
+            if b == block:
                 stats.hits += 1
                 if is_write:
-                    entry[1] |= word_bit
-                entry[2] |= word_bit
-                if i:
-                    ways.insert(0, ways.pop(i))
+                    self._dirty[set_idx, w] |= word_bit
+                self._touched[set_idx, w] |= word_bit
+                self._ord[set_idx, w] = self._clock
+                self._clock += 1
                 return AccessResult(hit=True)
 
         stats.misses += 1
         stats.fill_bytes += self.line_bytes
         writebacks = None
-        if len(ways) >= self.ways:
-            victim = ways.pop()
+        free = [w for w, b in enumerate(block_row) if b == -1]
+        if free:
+            w = free[0]
+        else:
+            ord_row = self._ord[set_idx]
+            w = min(range(self.ways), key=lambda i: ord_row[i])
             stats.evictions += 1
-            writebacks = self._retire(victim)
-        ways.insert(0, [block, word_bit if is_write else 0, word_bit])
+            writebacks = self._retire(set_idx, w)
+        self._block[set_idx, w] = block
+        self._dirty[set_idx, w] = word_bit if is_write else 0
+        self._touched[set_idx, w] = word_bit
+        self._ord[set_idx, w] = self._clock
+        self._clock += 1
         return AccessResult(
             hit=False,
             fill_addr=block << self._line_shift,
@@ -83,25 +113,223 @@ class ConventionalCache(BaseCache):
             writebacks=writebacks,
         )
 
-    def _retire(self, entry: list) -> list[tuple[int, int]] | None:
+    def _retire(self, set_idx: int, way: int) -> list[tuple[int, int]] | None:
         """Settle useful-byte accounting; return the write-back if dirty."""
-        block, dirty_mask, touched_mask = entry
-        self.useful_fill_bytes += 8 * bin(touched_mask).count("1")
-        if not dirty_mask:
+        dirty = int(self._dirty[set_idx, way])
+        touched = int(self._touched[set_idx, way])
+        self.useful_fill_bytes += 8 * touched.bit_count()
+        if not dirty:
             return None
-        self.useful_wb_bytes += 8 * bin(dirty_mask).count("1")
+        self.useful_wb_bytes += 8 * dirty.bit_count()
         self.stats.writeback_bytes += self.line_bytes
-        return [(block << self._line_shift, self.line_bytes)]
+        return [(int(self._block[set_idx, way]) << self._line_shift, self.line_bytes)]
 
+    # ------------------------------------------------------------------
+    # Batched path (whole-tile address arrays)
+    # ------------------------------------------------------------------
+    def access_many(self, addrs: np.ndarray, is_write: bool) -> BatchResult:
+        addrs = np.asarray(addrs, dtype=np.int64)
+        n = int(addrs.size)
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return BatchResult(0, 0, empty, np.empty(0, dtype=bool), empty)
+
+        shift = self._line_shift
+        nways = self.ways
+        line_bytes = self.line_bytes
+
+        blocks = addrs >> shift
+        word_bits = np.left_shift(
+            1, (addrs >> 3) & (self._words_per_line - 1)
+        )
+        # Compress runs of consecutive same-block accesses: after the
+        # first access the line is resident and MRU, the rest only OR
+        # word bits into the masks.
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        np.not_equal(blocks[1:], blocks[:-1], out=change[1:])
+        starts = np.flatnonzero(change)
+        run_len = np.diff(np.append(starts, n))
+        run_bits = np.bitwise_or.reduceat(word_bits, starts)
+        run_blocks = blocks[starts]
+
+        rb_l = run_blocks.tolist()
+        rs_l = (run_blocks & self._set_mask).tolist()
+        bits_l = run_bits.tolist()
+        len_l = run_len.tolist()
+        fill_l = (run_blocks << shift).tolist()
+
+        # Materialise the touched sets into flat Python structures; the
+        # per-set ``order`` list is MRU-first so the LRU victim is its
+        # tail (no per-miss min() scan).
+        state: dict[int, tuple] = {}
+        for s in set(rs_l):
+            blk = self._block[s].tolist()
+            dirty = self._dirty[s].tolist()
+            touched = self._touched[s].tolist()
+            ord_ = self._ord[s].tolist()
+            bmap: dict[int, int] = {}
+            free: list[int] = []
+            order: list[int] = []
+            for w in sorted(range(nways), key=ord_.__getitem__, reverse=True):
+                b = blk[w]
+                if b == -1:
+                    free.append(w)
+                else:
+                    bmap[b] = w
+                    order.append(w)
+            free.sort()
+            state[s] = (blk, dirty, touched, ord_, bmap, free, order)
+
+        events: list[int] = []
+        clk = self._clock
+        hits = misses = evictions = wb_events = 0
+        useful_fill = useful_wb = 0
+        cur_s = -1
+        blk = dirty = touched = ord_ = bmap = free = order = None
+
+        for b, s, bits, length, fill in zip(rb_l, rs_l, bits_l, len_l, fill_l):
+            if s != cur_s:
+                blk, dirty, touched, ord_, bmap, free, order = state[s]
+                cur_s = s
+            w = bmap.get(b)
+            if w is not None:
+                hits += length
+                if is_write:
+                    dirty[w] |= bits
+                touched[w] |= bits
+                ord_[w] = clk
+                clk += 1
+                if order[0] != w:
+                    order.remove(w)
+                    order.insert(0, w)
+                continue
+            hits += length - 1
+            misses += 1
+            events.append(fill)
+            if free:
+                w = free.pop(0)
+            else:
+                w = order.pop()
+                evictions += 1
+                useful_fill += touched[w].bit_count()
+                d = dirty[w]
+                if d:
+                    useful_wb += d.bit_count()
+                    wb_events += 1
+                    events.append((blk[w] << shift) | 1)
+                del bmap[blk[w]]
+            blk[w] = b
+            dirty[w] = bits if is_write else 0
+            touched[w] = bits
+            ord_[w] = clk
+            clk += 1
+            bmap[b] = w
+            order.insert(0, w)
+
+        # Write the mutated sets back to the arrays.
+        for s, (blk, dirty, touched, ord_, _, _, _) in state.items():
+            self._block[s] = blk
+            self._dirty[s] = dirty
+            self._touched[s] = touched
+            self._ord[s] = ord_
+        self._clock = clk
+
+        stats = self.stats
+        stats.accesses += n
+        stats.requested_bytes += 8 * n
+        stats.hits += hits
+        stats.misses += misses
+        stats.fill_bytes += misses * line_bytes
+        stats.writeback_bytes += wb_events * line_bytes
+        stats.evictions += evictions
+        self.useful_fill_bytes += 8 * useful_fill
+        self.useful_wb_bytes += 8 * useful_wb
+
+        packed = np.asarray(events, dtype=np.int64)
+        return BatchResult(
+            accesses=n,
+            hits=hits,
+            ev_addr=packed & -2,
+            ev_is_wb=(packed & 1).astype(bool),
+            ev_bytes=np.full(packed.size, line_bytes, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------
     def flush(self) -> list[tuple[int, int]]:
         writebacks = []
-        for ways in self._sets:
-            for entry in ways:
-                wb = self._retire(entry)
+        for set_idx in range(self.num_sets):
+            valid = [
+                w for w in range(self.ways) if self._block[set_idx, w] != -1
+            ]
+            # MRU-first, matching the original list ordering
+            for w in sorted(valid, key=lambda i: -int(self._ord[set_idx, i])):
+                wb = self._retire(set_idx, w)
                 if wb:
                     writebacks.extend(wb)
-            ways.clear()
+        self._block.fill(-1)
+        self._dirty.fill(0)
+        self._touched.fill(0)
+        self._ord.fill(0)
         return writebacks
+
+    # ------------------------------------------------------------------
+    # Exact-replay support (core.memory_path batch memoisation)
+    # ------------------------------------------------------------------
+    def state_digest(self) -> bytes:
+        """Canonical digest of the replacement state: lines hash in
+        per-set MRU-first order, so neither the absolute clock nor the
+        physical way assignment matters."""
+        perm = np.argsort(-self._ord, axis=1, kind="stable")
+        h = hashlib.blake2b(digest_size=16)
+        h.update(np.take_along_axis(self._block, perm, axis=1).tobytes())
+        h.update(np.take_along_axis(self._dirty, perm, axis=1).tobytes())
+        h.update(np.take_along_axis(self._touched, perm, axis=1).tobytes())
+        return h.digest()
+
+    def state_snapshot(self) -> tuple:
+        return (
+            self._block.copy(),
+            self._dirty.copy(),
+            self._touched.copy(),
+            self._ord.copy(),
+            self._clock,
+        )
+
+    def state_restore(self, snap: tuple) -> None:
+        block, dirty, touched, ord_, clock = snap
+        np.copyto(self._block, block)
+        np.copyto(self._dirty, dirty)
+        np.copyto(self._touched, touched)
+        np.copyto(self._ord, ord_)
+        self._clock = clock
+
+    def counter_vector(self) -> tuple[int, ...]:
+        """Every externally visible counter (replay delta domain)."""
+        s = self.stats
+        return (
+            s.accesses,
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.writeback_bytes,
+            s.fill_bytes,
+            s.requested_bytes,
+            self.useful_fill_bytes,
+            self.useful_wb_bytes,
+        )
+
+    def counter_apply(self, delta: tuple[int, ...]) -> None:
+        s = self.stats
+        s.accesses += delta[0]
+        s.hits += delta[1]
+        s.misses += delta[2]
+        s.evictions += delta[3]
+        s.writeback_bytes += delta[4]
+        s.fill_bytes += delta[5]
+        s.requested_bytes += delta[6]
+        self.useful_fill_bytes += delta[7]
+        self.useful_wb_bytes += delta[8]
 
     # ------------------------------------------------------------------
     @property

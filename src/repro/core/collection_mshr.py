@@ -21,7 +21,10 @@ executing in-bank (Sec. VII-A/C).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.dram.address import AddressMapper
 from repro.dram.system import FimOp
@@ -175,6 +178,86 @@ class CollectionExtendedMSHR:
             entry.sc_offsets.clear()
         return ops
 
+    # ------------------------------------------------------------------
+    def add_batch(self, addrs: np.ndarray, is_wb: np.ndarray) -> list[FimOp]:
+        """Register a whole fill/write-back event stream at once.
+
+        Behaviourally identical to calling :meth:`add_read` /
+        :meth:`add_write` per event in order (the batched-equivalence
+        suite enforces it); the address decode -- the scalar path's
+        dominant cost -- is done in one vectorised pass, and per-request
+        overhead collapses into a single tight loop over precomputed
+        row keys and in-row word offsets.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size == 0:
+            return []
+        _, _, _, _, row_key, word = self.mapper.decode_fim_many(addrs)
+        slots = self._slots
+        slot_mask = self.num_entries - 1
+        items_per_op = self.items_per_op
+        total_banks = self._total_banks
+        banks_per_rank = self.mapper.config.spec.banks_per_rank
+        ranks = self.mapper.config.ranks
+        ops: list[FimOp] = []
+        forwarded = merged_r = merged_w = 0
+        gathers_full = scatters_full = conflicts = 0
+
+        for rk, wd, wb in zip(
+            row_key.tolist(),
+            word.tolist(),
+            np.asarray(is_wb, dtype=bool).tolist(),
+        ):
+            entry = slots[rk & slot_mask]
+            if entry is None or entry.row_key != rk:
+                if entry is not None:
+                    conflicts += 1
+                    ops.extend(self._drain_entry(entry))
+                # recover the location from the row key (rare path)
+                gb = rk % total_banks
+                chra = gb // banks_per_rank
+                entry = _Entry(
+                    row_key=rk,
+                    channel=chra // ranks,
+                    rank=chra % ranks,
+                    bank=gb,
+                    row=rk // total_banks,
+                )
+                slots[rk & slot_mask] = entry
+            sc = entry.sc_offsets
+            if wb:
+                if wd in sc:
+                    merged_w += 1
+                    continue
+                sc.add(wd)
+                if len(sc) >= items_per_op:
+                    ops.append(self._make_op(entry, len(sc), scatter=True))
+                    scatters_full += 1
+                    sc.clear()
+            else:
+                if wd in sc:
+                    # Served from buffered write-back data (no DRAM traffic).
+                    forwarded += 1
+                    continue
+                ga = entry.ga_offsets
+                if wd in ga:
+                    merged_r += 1
+                    continue
+                ga.add(wd)
+                if len(ga) >= items_per_op:
+                    ops.append(self._make_op(entry, len(ga), scatter=False))
+                    gathers_full += 1
+                    ga.clear()
+
+        stats = self.stats
+        stats.forwarded_reads += forwarded
+        stats.merged_reads += merged_r
+        stats.merged_writes += merged_w
+        stats.gathers_full += gathers_full
+        stats.scatters_full += scatters_full
+        stats.conflict_evictions += conflicts
+        return ops
+
     def flush(self) -> list[FimOp]:
         """Drain every pending entry (end of iteration / run)."""
         ops: list[FimOp] = []
@@ -183,3 +266,79 @@ class CollectionExtendedMSHR:
                 ops.extend(self._drain_entry(entry))
                 self._slots[i] = None
         return ops
+
+    # ------------------------------------------------------------------
+    # Exact-replay support (core.memory_path batch memoisation)
+    # ------------------------------------------------------------------
+    def state_digest(self) -> bytes:
+        """Canonical digest of all pending collections."""
+        h = hashlib.blake2b(digest_size=16)
+        for i, entry in enumerate(self._slots):
+            if entry is not None:
+                h.update(
+                    repr(
+                        (
+                            i,
+                            entry.row_key,
+                            sorted(entry.ga_offsets),
+                            sorted(entry.sc_offsets),
+                        )
+                    ).encode()
+                )
+        return h.digest()
+
+    def state_snapshot(self) -> list:
+        return [
+            None
+            if e is None
+            else _Entry(
+                row_key=e.row_key,
+                channel=e.channel,
+                rank=e.rank,
+                bank=e.bank,
+                row=e.row,
+                ga_offsets=set(e.ga_offsets),
+                sc_offsets=set(e.sc_offsets),
+            )
+            for e in self._slots
+        ]
+
+    def state_restore(self, snap: list) -> None:
+        self._slots = [
+            None
+            if e is None
+            else _Entry(
+                row_key=e.row_key,
+                channel=e.channel,
+                rank=e.rank,
+                bank=e.bank,
+                row=e.row,
+                ga_offsets=set(e.ga_offsets),
+                sc_offsets=set(e.sc_offsets),
+            )
+            for e in snap
+        ]
+
+    def counter_vector(self) -> tuple[int, ...]:
+        s = self.stats
+        return (
+            s.gathers_full,
+            s.gathers_partial,
+            s.scatters_full,
+            s.scatters_partial,
+            s.forwarded_reads,
+            s.merged_reads,
+            s.merged_writes,
+            s.conflict_evictions,
+        )
+
+    def counter_apply(self, delta: tuple[int, ...]) -> None:
+        s = self.stats
+        s.gathers_full += delta[0]
+        s.gathers_partial += delta[1]
+        s.scatters_full += delta[2]
+        s.scatters_partial += delta[3]
+        s.forwarded_reads += delta[4]
+        s.merged_reads += delta[5]
+        s.merged_writes += delta[6]
+        s.conflict_evictions += delta[7]

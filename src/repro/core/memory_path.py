@@ -15,9 +15,28 @@ physical requests the DRAM phase evaluator consumes:
 A :class:`LocalityMonitor` (Sec. VIII-A) can redirect detected-sequential
 traffic to conventional bursts, the fallback the paper suggests for
 regular workloads.
+
+Execution modes (PERFORMANCE.md):
+
+Both paths default to the *batched* engine: the whole tile's address
+array goes through ``cache.access_many`` and the resulting fill/
+write-back event arrays feed ``mshr.add_batch`` (or the burst
+accumulator) without any per-address Python calls.  Setting
+``path.batched = False`` (or the module default
+:data:`BATCHED_DEFAULT`) selects the seed-identical scalar loop, kept
+both as the fallback contract for cache designs without an array-backed
+engine and as the baseline `tools/perf_report.py` measures speedups
+against.  On top of the batched engine, an exact replay memo
+(:class:`BatchReplayMemo`) recognises a batch whose (cache state, MSHR
+state, address stream) triple was simulated before -- e.g. PageRank
+re-running identical iterations -- and replays the recorded events,
+counter deltas, and end state instead of re-simulating.
 """
 
 from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
 
 import numpy as np
 
@@ -25,49 +44,188 @@ from repro.cache.base import BaseCache
 from repro.core.collection_mshr import CollectionExtendedMSHR
 from repro.dram.system import FimOp
 
+#: default execution mode for newly built paths (tools/perf_report.py
+#: flips this to time the seed-identical scalar loop)
+BATCHED_DEFAULT = True
+#: default replay-memo capacity (distinct batches remembered per path);
+#: 0 disables replay
+REPLAY_CAPACITY_DEFAULT = 256
+
+
+class BatchReplayMemo:
+    """Exact replay of previously simulated batches.
+
+    A batch's outcome is fully determined by (cache state, MSHR state,
+    monitor state, address stream, access type).  The memo keys on a
+    digest of that tuple; on a hit it restores the recorded end state
+    and replays the recorded events/counter deltas instead of
+    re-simulating.  Digests use canonical (rank-based) recency, so the
+    identical iterations of stationary algorithms hit even though the
+    absolute LRU clock advanced.
+    """
+
+    def __init__(self, capacity: int = REPLAY_CAPACITY_DEFAULT) -> None:
+        self.capacity = capacity
+        self._memo: OrderedDict[bytes, tuple] = OrderedDict()
+        #: keys seen once -- snapshots are only recorded on the second
+        #: sighting, so one-shot batches (BFS frontiers) never pay the
+        #: snapshot cost or hold memory
+        self._seen: OrderedDict[bytes, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, parts: list[bytes]) -> bytes:
+        h = hashlib.blake2b(digest_size=16)
+        for part in parts:
+            h.update(part)
+        return h.digest()
+
+    def get(self, key: bytes):
+        rec = self._memo.get(key)
+        if rec is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self._memo.move_to_end(key)
+        return rec
+
+    def should_record(self, key: bytes) -> bool:
+        """True on a key's second (or later) miss."""
+        if key in self._seen:
+            return True
+        self._seen[key] = None
+        if len(self._seen) > 4 * self.capacity:
+            self._seen.popitem(last=False)
+        return False
+
+    def put(self, key: bytes, record: tuple) -> None:
+        self._memo[key] = record
+        if len(self._memo) > self.capacity:
+            self._memo.popitem(last=False)
+
+
+class _RequestAccumulator:
+    """Ordered DRAM request stream built from array chunks and/or scalar
+    appends (both paths use it for bursts)."""
+
+    def __init__(self) -> None:
+        self._chunks: list[tuple[np.ndarray, np.ndarray]] = []
+        self._addrs: list[int] = []
+        self._write: list[bool] = []
+
+    def append_scalar(self, addr: int, is_write: bool) -> None:
+        self._addrs.append(addr)
+        self._write.append(is_write)
+
+    def append_arrays(self, addrs: np.ndarray, writes: np.ndarray) -> None:
+        if addrs.size:
+            self._seal_scalar()
+            self._chunks.append((addrs, writes))
+
+    def _seal_scalar(self) -> None:
+        if self._addrs:
+            self._chunks.append(
+                (
+                    np.asarray(self._addrs, dtype=np.int64),
+                    np.asarray(self._write, dtype=bool),
+                )
+            )
+            self._addrs, self._write = [], []
+
+    def drain(self) -> tuple[np.ndarray, np.ndarray]:
+        self._seal_scalar()
+        if not self._chunks:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        addrs = np.concatenate([c[0] for c in self._chunks])
+        writes = np.concatenate([c[1] for c in self._chunks])
+        self._chunks = []
+        return addrs, writes
+
 
 class ConventionalMemoryPath:
     """Cache misses become burst-sized DRAM reads/writes."""
 
-    def __init__(self, cache: BaseCache) -> None:
+    def __init__(
+        self,
+        cache: BaseCache,
+        batched: bool | None = None,
+        replay_capacity: int | None = None,
+    ) -> None:
         self.cache = cache
-        self.req_addrs: list[int] = []
-        self.req_write: list[bool] = []
+        self.batched = BATCHED_DEFAULT if batched is None else batched
+        capacity = (
+            REPLAY_CAPACITY_DEFAULT if replay_capacity is None else replay_capacity
+        )
+        self.memo = BatchReplayMemo(capacity) if capacity else None
+        self._requests = _RequestAccumulator()
 
     def run(self, addrs: np.ndarray, rmw: bool) -> None:
         """Process a batch of 8 B accesses (``rmw`` marks read-modify-write)."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size == 0:
+            return
+        if not self.batched:
+            self._run_scalar(addrs, rmw)
+            return
+        memo = self.memo
+        key = None
+        if memo is not None:
+            cache_digest = self.cache.state_digest()
+            if cache_digest is not None:
+                key = memo.key(
+                    [cache_digest, addrs.tobytes(), b"w" if rmw else b"r"]
+                )
+                rec = memo.get(key)
+                if rec is not None:
+                    ev_addr, ev_is_wb, counters, snap = rec
+                    self.cache.state_restore(snap)
+                    self.cache.counter_apply(counters)
+                    self._requests.append_arrays(ev_addr, ev_is_wb)
+                    return
+                if not memo.should_record(key):
+                    key = None
+        before = self.cache.counter_vector() if key is not None else None
+        res = self.cache.access_many(addrs, rmw)
+        self._requests.append_arrays(res.ev_addr, res.ev_is_wb)
+        if key is not None:
+            after = self.cache.counter_vector()
+            delta = tuple(a - b for a, b in zip(after, before))
+            memo.put(
+                key,
+                (res.ev_addr, res.ev_is_wb, delta, self.cache.state_snapshot()),
+            )
+
+    def _run_scalar(self, addrs: np.ndarray, rmw: bool) -> None:
+        """Seed-identical per-address loop (fallback / perf baseline)."""
         access = self.cache.access
-        req_a, req_w = self.req_addrs, self.req_write
+        append = self._requests.append_scalar
         for a in addrs.tolist():
             hit, fill_addr, _, wbs = access(a, rmw)
             if not hit:
-                req_a.append(fill_addr)
-                req_w.append(False)
+                append(fill_addr, False)
             if wbs:
                 for wb_addr, _ in wbs:
-                    req_a.append(wb_addr)
-                    req_w.append(True)
+                    append(wb_addr, True)
 
     def drain(self) -> tuple[np.ndarray, np.ndarray]:
         """Take the accumulated DRAM requests (and reset)."""
-        addrs = np.asarray(self.req_addrs, dtype=np.int64)
-        writes = np.asarray(self.req_write, dtype=bool)
-        self.req_addrs, self.req_write = [], []
-        return addrs, writes
+        return self._requests.drain()
 
     def flush(self) -> None:
         """Write back all dirty state (end of run)."""
         for wb_addr, _ in self.cache.flush():
-            self.req_addrs.append(wb_addr)
-            self.req_write.append(True)
+            self._requests.append_scalar(wb_addr, True)
 
 
 class LocalityMonitor:
     """Sequential-pattern detector (Sec. VIII-A).
 
-    Watches the last ``window`` accesses; when the fraction of +8 B deltas
-    exceeds ``threshold`` the path falls back to conventional bursts,
-    re-evaluated every window.
+    Watches address deltas over windows of ``window`` accesses (i.e.
+    ``window - 1`` consecutive pairs); when the fraction of +8 B deltas
+    in a window reaches ``threshold`` the path falls back to
+    conventional bursts, re-evaluated every window.  The last address of
+    a window seeds the first delta of the next, so no pair is ever
+    dropped at a window boundary.
     """
 
     def __init__(self, window: int = 64, threshold: float = 0.75) -> None:
@@ -78,19 +236,72 @@ class LocalityMonitor:
         self.window = window
         self.threshold = threshold
         self._last_addr: int | None = None
-        self._seen = 0
+        self._pairs = 0
         self._sequential = 0
         self.bypass = False
 
     def observe(self, addr: int) -> None:
-        if self._last_addr is not None and addr - self._last_addr == 8:
-            self._sequential += 1
+        last = self._last_addr
         self._last_addr = addr
-        self._seen += 1
-        if self._seen >= self.window:
-            self.bypass = self._sequential / self._seen >= self.threshold
-            self._seen = 0
+        if last is None:
+            return
+        if addr - last == 8:
+            self._sequential += 1
+        self._pairs += 1
+        if self._pairs >= self.window - 1:
+            self.bypass = self._sequential / self._pairs >= self.threshold
+            self._pairs = 0
             self._sequential = 0
+
+    def observe_many(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`observe`: returns the bypass state in
+        effect *after* each observation (what the scalar loop would have
+        read), updating the monitor to the same end state."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        n = int(addrs.size)
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        pair_valid = np.ones(n, dtype=bool)
+        seq = np.empty(n, dtype=bool)
+        if self._last_addr is None:
+            pair_valid[0] = False
+            seq[0] = False
+        else:
+            seq[0] = int(addrs[0]) - self._last_addr == 8
+        np.equal(addrs[1:] - addrs[:-1], 8, out=seq[1:])
+        seq &= pair_valid
+
+        window_pairs = self.window - 1
+        pair_count = self._pairs + np.cumsum(pair_valid)
+        evals = np.flatnonzero(((pair_count % window_pairs) == 0) & pair_valid)
+        seq_cum = self._sequential + np.cumsum(seq.astype(np.int64))
+
+        out = np.empty(n, dtype=bool)
+        if evals.size == 0:
+            out.fill(self.bypass)
+            self._pairs = int(pair_count[-1])
+            self._sequential = int(seq_cum[-1])
+        else:
+            seq_at = seq_cum[evals]
+            window_seq = np.diff(np.concatenate(([0], seq_at)))
+            flags = (window_seq / window_pairs) >= self.threshold
+            # segment [0, evals[0]] keeps the incoming state; each
+            # evaluation's verdict applies from its own access onward
+            bounds = np.concatenate(([0], evals, [n]))
+            lengths = np.diff(bounds)
+            values = np.concatenate(([self.bypass], flags))
+            out = np.repeat(values, lengths)
+            self.bypass = bool(flags[-1])
+            self._pairs = int(pair_count[-1]) - window_pairs * evals.size
+            self._sequential = int(seq_cum[-1] - seq_cum[evals[-1]])
+        self._last_addr = int(addrs[-1])
+        return out
+
+    def state_tuple(self) -> tuple:
+        return (self._last_addr, self._pairs, self._sequential, self.bypass)
+
+    def state_restore(self, state: tuple) -> None:
+        self._last_addr, self._pairs, self._sequential, self.bypass = state
 
 
 class FineGrainedMemoryPath:
@@ -101,19 +312,152 @@ class FineGrainedMemoryPath:
         cache: BaseCache,
         mshr: CollectionExtendedMSHR,
         locality_monitor: LocalityMonitor | None = None,
+        batched: bool | None = None,
+        replay_capacity: int | None = None,
     ) -> None:
         self.cache = cache
         self.mshr = mshr
         self.monitor = locality_monitor
+        self.batched = BATCHED_DEFAULT if batched is None else batched
+        capacity = (
+            REPLAY_CAPACITY_DEFAULT if replay_capacity is None else replay_capacity
+        )
+        self.memo = BatchReplayMemo(capacity) if capacity else None
         self.fim_ops: list[FimOp] = []
         #: conventional bursts issued while the locality monitor bypasses
-        self.bypass_addrs: list[int] = []
-        self.bypass_write: list[bool] = []
+        self._bypass = _RequestAccumulator()
         self._last_bypass_fill = -1
         self._last_bypass_wb = -1
 
+    # ------------------------------------------------------------------
     def run(self, addrs: np.ndarray, rmw: bool) -> None:
         """Process a batch of 8 B accesses through cache + MSHR."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size == 0:
+            return
+        if not self.batched:
+            self._run_scalar(addrs, rmw)
+            return
+        memo = self.memo
+        key = None
+        if memo is not None:
+            cache_digest = self.cache.state_digest()
+            if cache_digest is not None:
+                parts = [
+                    cache_digest,
+                    self.mshr.state_digest(),
+                    addrs.tobytes(),
+                    b"w" if rmw else b"r",
+                ]
+                if self.monitor is not None:
+                    parts.append(repr(self.monitor.state_tuple()).encode())
+                    parts.append(
+                        repr((self._last_bypass_fill, self._last_bypass_wb)).encode()
+                    )
+                key = memo.key(parts)
+                rec = memo.get(key)
+                if rec is not None:
+                    self._replay(rec)
+                    return
+                if not memo.should_record(key):
+                    key = None
+        before = None
+        ops_before = len(self.fim_ops)
+        if key is not None:
+            before = (
+                self.cache.counter_vector(),
+                self.mshr.counter_vector(),
+            )
+            # seal pending scalar appends so the chunk watermark below
+            # cannot fold pre-batch bursts into this batch's record
+            self._bypass._seal_scalar()
+            bypass_chunks_before = len(self._bypass._chunks)
+        self._run_batched(addrs, rmw)
+        if key is not None:
+            cache_delta = tuple(
+                a - b
+                for a, b in zip(self.cache.counter_vector(), before[0])
+            )
+            mshr_delta = tuple(
+                a - b for a, b in zip(self.mshr.counter_vector(), before[1])
+            )
+            self._bypass._seal_scalar()
+            record = (
+                tuple(self.fim_ops[ops_before:]),
+                tuple(self._bypass._chunks[bypass_chunks_before:]),
+                cache_delta,
+                mshr_delta,
+                self.cache.state_snapshot(),
+                self.mshr.state_snapshot(),
+                self.monitor.state_tuple() if self.monitor is not None else None,
+                (self._last_bypass_fill, self._last_bypass_wb),
+            )
+            memo.put(key, record)
+
+    def _replay(self, rec: tuple) -> None:
+        (
+            ops,
+            bypass_chunks,
+            cache_delta,
+            mshr_delta,
+            cache_snap,
+            mshr_snap,
+            monitor_state,
+            bypass_state,
+        ) = rec
+        self.fim_ops.extend(ops)
+        for chunk in bypass_chunks:
+            self._bypass.append_arrays(*chunk)
+        self.cache.counter_apply(cache_delta)
+        self.mshr.counter_apply(mshr_delta)
+        self.cache.state_restore(cache_snap)
+        self.mshr.state_restore(mshr_snap)
+        if monitor_state is not None:
+            self.monitor.state_restore(monitor_state)
+        self._last_bypass_fill, self._last_bypass_wb = bypass_state
+
+    # ------------------------------------------------------------------
+    def _run_batched(self, addrs: np.ndarray, rmw: bool) -> None:
+        if self.monitor is None:
+            res = self.cache.access_many(addrs, rmw)
+            self.fim_ops.extend(self.mshr.add_batch(res.ev_addr, res.ev_is_wb))
+            return
+        flags = self.monitor.observe_many(addrs)
+        # split into maximal constant-bypass segments, in order
+        change = np.empty(flags.size, dtype=bool)
+        change[0] = True
+        np.not_equal(flags[1:], flags[:-1], out=change[1:])
+        starts = np.flatnonzero(change)
+        ends = np.append(starts[1:], flags.size)
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            segment = addrs[start:end]
+            res = self.cache.access_many(segment, rmw)
+            if not flags[start]:
+                self.fim_ops.extend(
+                    self.mshr.add_batch(res.ev_addr, res.ev_is_wb)
+                )
+                continue
+            # Conventional burst fills; consecutive words of the same
+            # 64 B block share one burst (per fill/write-back stream).
+            blocks = res.ev_addr & ~63
+            is_wb = res.ev_is_wb
+            keep = np.zeros(blocks.size, dtype=bool)
+            for wb_flag, carry_attr in ((False, "_last_bypass_fill"), (True, "_last_bypass_wb")):
+                idx = np.flatnonzero(is_wb == wb_flag)
+                if idx.size == 0:
+                    continue
+                cat = blocks[idx]
+                cat_keep = np.empty(idx.size, dtype=bool)
+                cat_keep[0] = cat[0] != getattr(self, carry_attr)
+                np.not_equal(cat[1:], cat[:-1], out=cat_keep[1:])
+                keep[idx] = cat_keep
+                setattr(self, carry_attr, int(cat[-1]))
+            sel = np.flatnonzero(keep)
+            self._bypass.append_arrays(blocks[sel], is_wb[sel])
+
+    # ------------------------------------------------------------------
+    def _run_scalar(self, addrs: np.ndarray, rmw: bool) -> None:
+        """Seed-identical per-address loop (fallback / perf baseline)."""
         access = self.cache.access
         add_read = self.mshr.add_read
         add_write = self.mshr.add_write
@@ -129,15 +473,13 @@ class FineGrainedMemoryPath:
                     if not hit:
                         block = fill_addr & ~63
                         if block != self._last_bypass_fill:
-                            self.bypass_addrs.append(block)
-                            self.bypass_write.append(False)
+                            self._bypass.append_scalar(block, False)
                             self._last_bypass_fill = block
                     if wbs:
                         for wb_addr, _ in wbs:
                             block = wb_addr & ~63
                             if block != self._last_bypass_wb:
-                                self.bypass_addrs.append(block)
-                                self.bypass_write.append(True)
+                                self._bypass.append_scalar(block, True)
                                 self._last_bypass_wb = block
                     continue
             hit, fill_addr, _, wbs = access(a, rmw)
@@ -151,19 +493,30 @@ class FineGrainedMemoryPath:
                     if issued:
                         ops.extend(issued)
 
+    # ------------------------------------------------------------------
     def drain(self) -> tuple[list[FimOp], np.ndarray, np.ndarray]:
         """Take accumulated FIM ops and bypass bursts (and reset)."""
         ops = self.fim_ops
-        addrs = np.asarray(self.bypass_addrs, dtype=np.int64)
-        writes = np.asarray(self.bypass_write, dtype=bool)
         self.fim_ops = []
-        self.bypass_addrs, self.bypass_write = [], []
+        addrs, writes = self._bypass.drain()
         return ops, addrs, writes
 
     def flush(self) -> None:
         """Drain cache dirty state and pending MSHR entries (end of run)."""
-        for wb_addr, _ in self.cache.flush():
-            issued = self.mshr.add_write(wb_addr)
-            if issued:
-                self.fim_ops.extend(issued)
+        writebacks = self.cache.flush()
+        if writebacks:
+            if self.batched:
+                wb_addrs = np.asarray(
+                    [wb_addr for wb_addr, _ in writebacks], dtype=np.int64
+                )
+                self.fim_ops.extend(
+                    self.mshr.add_batch(
+                        wb_addrs, np.ones(wb_addrs.size, dtype=bool)
+                    )
+                )
+            else:
+                for wb_addr, _ in writebacks:
+                    issued = self.mshr.add_write(wb_addr)
+                    if issued:
+                        self.fim_ops.extend(issued)
         self.fim_ops.extend(self.mshr.flush())

@@ -23,11 +23,29 @@ Replacement (Sec. V-B / Fig. 6):
   is the paper's future work, available here as the ``"utility"`` mode).
 - Victim ordering is LRU by default, SRRIP when ``policy="rrip"``
   (Fig. 11's Piccolo (RRIP) bars).
+
+Storage layout (this module's batched engine, PERFORMANCE.md):
+
+The per-set line metadata lives in contiguous NumPy arrays -- tags,
+per-sector fg-tags, dirty masks, RRPV and recency stamps -- instead of
+``_Line`` objects in Python lists.  Recency is a monotonically
+increasing stamp per line: under LRU the stamp advances on every touch,
+under SRRIP only on insertion, which reproduces the original MRU-first
+list ordering (including SRRIP's first-max tie-break on the youngest
+insertion) without any list churn.  :meth:`access` operates on the
+arrays one address at a time; :meth:`access_many` materialises the
+touched sets into flat Python structures once per batch, runs the whole
+tile through a tight loop, and writes the arrays back.  Both paths are
+behaviourally identical (enforced by tests/test_batched_equivalence.py).
 """
 
 from __future__ import annotations
 
-from repro.cache.base import AccessResult, BaseCache
+import hashlib
+
+import numpy as np
+
+from repro.cache.base import AccessResult, BaseCache, BatchResult
 from repro.utils.units import log2_exact
 
 #: SRRIP constants (2-bit re-reference prediction values).
@@ -36,16 +54,16 @@ RRIP_MAX = (1 << RRIP_BITS) - 1
 RRIP_INSERT = RRIP_MAX - 1
 
 
-class _Line:
-    """One Piccolo-cache line: a tag plus per-sector fg-tags."""
+class _LineView:
+    """Read-only snapshot of one line (introspection/back-compat)."""
 
     __slots__ = ("tag", "fg", "dirty", "rrpv")
 
-    def __init__(self, tag: int, sectors: int) -> None:
+    def __init__(self, tag: int, fg: list[int], dirty: int, rrpv: int) -> None:
         self.tag = tag
-        self.fg = [-1] * sectors  # -1 = invalid sector
-        self.dirty = 0            # bitmask over sectors
-        self.rrpv = RRIP_INSERT
+        self.fg = fg
+        self.dirty = dirty
+        self.rrpv = rrpv
 
 
 class PiccoloCache(BaseCache):
@@ -91,6 +109,10 @@ class PiccoloCache(BaseCache):
         self.addr_bits = addr_bits
         self.num_sets = size_bytes // (ways * line_bytes)
         log2_exact(self.num_sets)
+        if line_bytes // sector_bytes > 63:
+            raise ValueError(
+                "sectors_per_line > 63 exceeds the int64 dirty-mask width"
+            )
 
         self._sector_shift = log2_exact(sector_bytes)
         self._fg_off_bits = log2_exact(self.sectors_per_line)
@@ -98,7 +120,19 @@ class PiccoloCache(BaseCache):
         self._set_shift = self._fg_shift + fg_tag_bits
         self._set_bits = log2_exact(self.num_sets)
         self._tag_shift = self._set_shift + self._set_bits
-        self._sets: list[list[_Line]] = [[] for _ in range(self.num_sets)]
+
+        # Array-backed line metadata (see module docstring).
+        shape = (self.num_sets, ways)
+        self._tag = np.full(shape, -1, dtype=np.int64)
+        self._fgt = np.full(shape + (self.sectors_per_line,), -1, dtype=np.int32)
+        self._dirty = np.zeros(shape, dtype=np.int64)
+        self._rrpv = np.full(shape, RRIP_INSERT, dtype=np.int16)
+        #: recency stamp: touch-order under LRU, insert-order under SRRIP
+        self._ord = np.zeros(shape, dtype=np.int64)
+        #: insertion stamp (SRRIP's tie-break domain)
+        self._ins = np.zeros(shape, dtype=np.int64)
+        self._clock = 1
+
         #: ways each tag may occupy (equal way partitioning, Sec. V-B);
         #: the tiling layer calls :meth:`set_way_quota` per tile.
         self.way_quota = ways
@@ -136,26 +170,27 @@ class PiccoloCache(BaseCache):
         )
 
     # ------------------------------------------------------------------
+    # Scalar path (one address at a time, directly on the arrays)
+    # ------------------------------------------------------------------
     def access(self, addr: int, is_write: bool) -> AccessResult:
         stats = self.stats
         stats.accesses += 1
         stats.requested_bytes += self.sector_bytes
         tag, set_idx, fg, off = self._split(addr)
-        ways = self._sets[set_idx]
         bit = 1 << off
+        tag_row = self._tag[set_idx].tolist()
+        fg_rows = self._fgt[set_idx]
 
-        # Sequential way search (Sec. V-A): first matching tag wins the
-        # fg-tag comparison; remember every same-tag line for replacement.
-        same_tag_idx: list[int] = []
-        for i, line in enumerate(ways):
-            if line.tag == tag:
-                if line.fg[off] == fg:
+        same_tag: list[int] = []
+        for w, t in enumerate(tag_row):
+            if t == tag:
+                if fg_rows[w, off] == fg:
                     stats.hits += 1
                     if is_write:
-                        line.dirty |= bit
-                    self._touch(ways, i)
+                        self._dirty[set_idx, w] |= bit
+                    self._touch(set_idx, w)
                     return AccessResult(hit=True)
-                same_tag_idx.append(i)
+                same_tag.append(w)
 
         stats.misses += 1
         stats.fill_bytes += self.sector_bytes
@@ -163,40 +198,41 @@ class PiccoloCache(BaseCache):
 
         # Sector replacement only when the tag already holds its allocated
         # ways (Sec. V-B); below quota the tag claims a whole new line.
-        if same_tag_idx and len(same_tag_idx) >= self.way_quota:
-            # Replace one sector in the victim line of this tag (Fig. 6).
-            victim_i = self._victim_among(ways, same_tag_idx)
-            line = ways[victim_i]
-            old_fg = line.fg[off]
-            if old_fg >= 0 and line.dirty & bit:
+        if same_tag and len(same_tag) >= self.way_quota:
+            v = self._victim_among(set_idx, same_tag)
+            old_fg = int(fg_rows[v, off])
+            if old_fg >= 0 and int(self._dirty[set_idx, v]) & bit:
                 wb_addr = self._sector_addr(tag, set_idx, old_fg, off)
                 writebacks = [(wb_addr, self.sector_bytes)]
                 stats.writeback_bytes += self.sector_bytes
-            line.fg[off] = fg
+            fg_rows[v, off] = fg
             if is_write:
-                line.dirty |= bit
+                self._dirty[set_idx, v] |= bit
             else:
-                line.dirty &= ~bit
+                self._dirty[set_idx, v] &= ~bit
             self.sector_replacements += 1
-            self._touch(ways, victim_i)
+            self._touch(set_idx, v)
         else:
             # Whole-line allocation; evict another tag's LRU line if full.
-            if len(ways) >= self.ways:
-                victim_i = self._victim_among(
-                    ways,
-                    [i for i in range(len(ways)) if i not in same_tag_idx]
-                    or list(range(len(ways))),
-                )
-                victim = ways.pop(victim_i)
+            free = [w for w, t in enumerate(tag_row) if t == -1]
+            if free:
+                w = free[0]
+            else:
+                candidates = [
+                    w for w in range(self.ways) if w not in same_tag
+                ] or list(range(self.ways))
+                w = self._victim_among(set_idx, candidates)
                 stats.evictions += 1
                 self.line_evictions += 1
-                writebacks = self._dirty_sector_writebacks(victim, set_idx)
-            line = _Line(tag, self.sectors_per_line)
-            line.fg[off] = fg
-            if is_write:
-                line.dirty |= bit
-            line.rrpv = RRIP_INSERT
-            ways.insert(0, line)
+                writebacks = self._dirty_sector_writebacks(set_idx, w)
+            self._tag[set_idx, w] = tag
+            fg_rows[w] = -1
+            fg_rows[w, off] = fg
+            self._dirty[set_idx, w] = bit if is_write else 0
+            self._rrpv[set_idx, w] = RRIP_INSERT
+            self._ord[set_idx, w] = self._clock
+            self._ins[set_idx, w] = self._clock
+            self._clock += 1
 
         return AccessResult(
             hit=False,
@@ -206,48 +242,367 @@ class PiccoloCache(BaseCache):
         )
 
     # ------------------------------------------------------------------
-    def _touch(self, ways: list[_Line], index: int) -> None:
+    def _touch(self, set_idx: int, way: int) -> None:
         if self.policy == "lru":
-            if index:
-                ways.insert(0, ways.pop(index))
+            self._ord[set_idx, way] = self._clock
+            self._clock += 1
         else:
-            ways[index].rrpv = 0
+            self._rrpv[set_idx, way] = 0
 
-    def _victim_among(self, ways: list[_Line], candidates: list[int]) -> int:
-        """Pick the victim index among ``candidates`` per the policy."""
+    def _victim_among(self, set_idx: int, candidates: list[int]) -> int:
+        """Pick the victim way among ``candidates`` per the policy."""
         if self.policy == "lru":
-            # MRU-first list: the last candidate is least recently used.
-            return candidates[-1]
-        # SRRIP: the candidate with the highest RRPV; age if none at max.
-        while True:
-            best = max(candidates, key=lambda i: ways[i].rrpv)
-            if ways[best].rrpv >= RRIP_MAX:
-                return best
-            for i in candidates:
-                ways[i].rrpv = min(RRIP_MAX, ways[i].rrpv + 1)
+            ord_row = self._ord[set_idx]
+            return min(candidates, key=lambda w: ord_row[w])
+        return self._rrip_victim(
+            candidates, self._rrpv[set_idx], self._ins[set_idx]
+        )
 
     def _dirty_sector_writebacks(
-        self, line: _Line, set_idx: int
+        self, set_idx: int, way: int
     ) -> list[tuple[int, int]] | None:
-        if not line.dirty:
+        dirty = int(self._dirty[set_idx, way])
+        if not dirty:
             return None
+        tag = int(self._tag[set_idx, way])
+        fg_row = self._fgt[set_idx, way]
         writebacks = []
         for off in range(self.sectors_per_line):
-            if line.dirty & (1 << off):
-                addr = self._sector_addr(line.tag, set_idx, line.fg[off], off)
+            if dirty & (1 << off):
+                addr = self._sector_addr(tag, set_idx, int(fg_row[off]), off)
                 writebacks.append((addr, self.sector_bytes))
         self.stats.writeback_bytes += len(writebacks) * self.sector_bytes
         return writebacks
 
+    # ------------------------------------------------------------------
+    # Batched path (whole-tile address arrays)
+    # ------------------------------------------------------------------
+    def access_many(self, addrs: np.ndarray, is_write: bool) -> BatchResult:
+        addrs = np.asarray(addrs, dtype=np.int64)
+        n = int(addrs.size)
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return BatchResult(0, 0, empty, np.empty(0, dtype=bool), empty)
+
+        sectors = self.sectors_per_line
+        sector_mask = self.sector_bytes - 1
+        fg_shift = self._fg_shift
+        quota = self.way_quota
+        nways = self.ways
+        is_lru = self.policy == "lru"
+
+        # Vectorized address decomposition (the per-access bit slicing
+        # the scalar loop pays in the interpreter).
+        off_a = (addrs >> self._sector_shift) & (sectors - 1)
+        fg_a = (addrs >> fg_shift) & ((1 << self.fg_tag_bits) - 1)
+        set_a = (addrs >> self._set_shift) & (self.num_sets - 1)
+        tag_a = addrs >> self._tag_shift
+        fill_a = addrs & ~sector_mask
+        # Fill address with the fg field cleared: OR-ing a victim's old
+        # fg-tag back in yields its write-back address in two int ops.
+        nofg_a = fill_a & ~(((1 << self.fg_tag_bits) - 1) << fg_shift)
+        bit_a = np.left_shift(1, off_a)
+
+        tag_l = tag_a.tolist()
+        set_l = set_a.tolist()
+        fg_l = fg_a.tolist()
+        off_l = off_a.tolist()
+        bit_l = bit_a.tolist()
+        fill_l = fill_a.tolist()
+        nofg_l = nofg_a.tolist()
+
+        # Materialise the touched sets into flat Python structures.  Tag
+        # groups are built MRU-first so the LRU victim is simply the
+        # group's tail (no per-miss min() scan); the loop keeps that
+        # invariant by moving touched ways to the group head.
+        state: dict[int, tuple] = {}
+        for s in set(set_l):
+            tags = self._tag[s].tolist()
+            fgw = [row.tolist() for row in self._fgt[s]]
+            dirty = self._dirty[s].tolist()
+            rrpv = self._rrpv[s].tolist()
+            ord_ = self._ord[s].tolist()
+            ins = self._ins[s].tolist()
+            tagmap: dict[int, list[int]] = {}
+            free: list[int] = []
+            for w in sorted(range(nways), key=ord_.__getitem__, reverse=True):
+                t = tags[w]
+                if t == -1:
+                    free.append(w)
+                else:
+                    tagmap.setdefault(t, []).append(w)
+            state[s] = (tags, fgw, dirty, rrpv, ord_, ins, tagmap, free)
+
+        # Write-back events carry bit 0 as a flag (sector addresses are
+        # 8 B aligned): one append per event, unpacked vectorised below.
+        events: list[int] = []
+        clk = self._clock
+        hits = wb_events = sector_repl = line_evict = 0
+        cur_s = -1
+        tags = fgw = dirty = rrpv = ord_ = ins = tagmap = free = None
+
+        for tag, s, fg, off, bit, fill, nofg in zip(
+            tag_l, set_l, fg_l, off_l, bit_l, fill_l, nofg_l
+        ):
+            if s != cur_s:
+                tags, fgw, dirty, rrpv, ord_, ins, tagmap, free = state[s]
+                cur_s = s
+            grp = tagmap.get(tag)
+            if grp is not None:
+                hit_w = -1
+                for w in grp:
+                    if fgw[w][off] == fg:
+                        hit_w = w
+                        break
+                if hit_w >= 0:
+                    hits += 1
+                    if is_write:
+                        dirty[hit_w] |= bit
+                    if is_lru:
+                        ord_[hit_w] = clk
+                        clk += 1
+                        if grp[0] != hit_w:
+                            grp.remove(hit_w)
+                            grp.insert(0, hit_w)
+                    else:
+                        rrpv[hit_w] = 0
+                    continue
+            # miss: the fill precedes any write-back it displaces
+            events.append(fill)
+            if grp is not None and len(grp) >= quota:
+                # sector replacement in the tag's LRU/SRRIP-victim line
+                if is_lru:
+                    v = grp[-1]
+                    if grp[0] != v:
+                        grp.pop()
+                        grp.insert(0, v)
+                    ord_[v] = clk
+                    clk += 1
+                else:
+                    v = self._rrip_victim(grp, rrpv, ins)
+                    rrpv[v] = 0
+                row = fgw[v]
+                old_fg = row[off]
+                if old_fg >= 0 and dirty[v] & bit:
+                    events.append(nofg | (old_fg << fg_shift) | 1)
+                    wb_events += 1
+                row[off] = fg
+                if is_write:
+                    dirty[v] |= bit
+                else:
+                    dirty[v] &= ~bit
+                sector_repl += 1
+            else:
+                # whole-line allocation, evicting another tag if full
+                if free:
+                    w = free.pop()
+                else:
+                    cands = [w2 for w2 in range(nways) if tags[w2] != tag]
+                    if not cands:
+                        cands = list(range(nways))
+                    if is_lru:
+                        w = min(cands, key=ord_.__getitem__)
+                    else:
+                        w = self._rrip_victim(cands, rrpv, ins)
+                    line_evict += 1
+                    d = dirty[w]
+                    if d:
+                        vrow = fgw[w]
+                        base = (tags[w] << self._tag_shift) | (
+                            s << self._set_shift
+                        )
+                        o = 0
+                        while d:
+                            if d & 1:
+                                events.append(
+                                    base
+                                    | (vrow[o] << fg_shift)
+                                    | (o << self._sector_shift)
+                                    | 1
+                                )
+                                wb_events += 1
+                            d >>= 1
+                            o += 1
+                    old_grp = tagmap[tags[w]]
+                    old_grp.remove(w)
+                    if not old_grp:
+                        del tagmap[tags[w]]
+                        # the victim may have shared our tag (degenerate
+                        # all-same-tag fallback): re-resolve the group
+                        grp = tagmap.get(tag)
+                tags[w] = tag
+                new_row = [-1] * sectors
+                new_row[off] = fg
+                fgw[w] = new_row
+                dirty[w] = bit if is_write else 0
+                rrpv[w] = RRIP_INSERT
+                ord_[w] = clk
+                ins[w] = clk
+                clk += 1
+                if grp is not None:
+                    grp.insert(0, w)
+                else:
+                    tagmap[tag] = [w]
+
+        # Write the mutated sets back to the arrays.
+        for s, (tags, fgw, dirty, rrpv, ord_, ins, _, _) in state.items():
+            self._tag[s] = tags
+            self._fgt[s] = fgw
+            self._dirty[s] = dirty
+            self._rrpv[s] = rrpv
+            self._ord[s] = ord_
+            self._ins[s] = ins
+        self._clock = clk
+
+        misses = n - hits
+        stats = self.stats
+        stats.accesses += n
+        stats.requested_bytes += n * self.sector_bytes
+        stats.hits += hits
+        stats.misses += misses
+        stats.fill_bytes += misses * self.sector_bytes
+        stats.writeback_bytes += wb_events * self.sector_bytes
+        stats.evictions += line_evict
+        self.sector_replacements += sector_repl
+        self.line_evictions += line_evict
+
+        packed = np.asarray(events, dtype=np.int64)
+        return BatchResult(
+            accesses=n,
+            hits=hits,
+            ev_addr=packed & -2,
+            ev_is_wb=(packed & 1).astype(bool),
+            ev_bytes=np.full(packed.size, self.sector_bytes, dtype=np.int64),
+        )
+
+    @staticmethod
+    def _rrip_victim(cands, rrpv, ins) -> int:
+        """SRRIP victim: highest RRPV wins, youngest insertion breaks
+        ties (the original MRU-first list put the newest insertion
+        first, and ``max`` kept the first of equals); age if none is at
+        max.  Works on both the flat batched lists and the NumPy rows
+        of the scalar path."""
+        while True:
+            best, best_r, best_i = -1, -1, -1
+            for w in cands:
+                r = rrpv[w]
+                if r > best_r or (r == best_r and ins[w] > best_i):
+                    best, best_r, best_i = w, r, ins[w]
+            if best_r >= RRIP_MAX:
+                return best
+            for w in cands:
+                if rrpv[w] < RRIP_MAX:
+                    rrpv[w] += 1
+
+    # ------------------------------------------------------------------
+    def _mru_order(self, set_idx: int) -> list[int]:
+        """Way indices in the original MRU-first list order."""
+        key = self._ord if self.policy == "lru" else self._ins
+        valid = [w for w in range(self.ways) if self._tag[set_idx, w] != -1]
+        return sorted(valid, key=lambda w: -int(key[set_idx, w]))
+
+    @property
+    def _sets(self) -> list[list[_LineView]]:
+        """Read-only line views per set, MRU-first (back-compat)."""
+        return [
+            [
+                _LineView(
+                    int(self._tag[s, w]),
+                    self._fgt[s, w].tolist(),
+                    int(self._dirty[s, w]),
+                    int(self._rrpv[s, w]),
+                )
+                for w in self._mru_order(s)
+            ]
+            for s in range(self.num_sets)
+        ]
+
     def flush(self) -> list[tuple[int, int]]:
         writebacks: list[tuple[int, int]] = []
-        for set_idx, ways in enumerate(self._sets):
-            for line in ways:
-                wb = self._dirty_sector_writebacks(line, set_idx)
+        for set_idx in range(self.num_sets):
+            for w in self._mru_order(set_idx):
+                wb = self._dirty_sector_writebacks(set_idx, w)
                 if wb:
                     writebacks.extend(wb)
-            ways.clear()
+        self._tag.fill(-1)
+        self._fgt.fill(-1)
+        self._dirty.fill(0)
+        self._rrpv.fill(RRIP_INSERT)
+        self._ord.fill(0)
+        self._ins.fill(0)
         return writebacks
+
+    # ------------------------------------------------------------------
+    # Exact-replay support (core.memory_path batch memoisation)
+    # ------------------------------------------------------------------
+    def state_digest(self) -> bytes:
+        """Canonical digest of the replacement state.
+
+        Lines are hashed in per-set MRU-first order, so neither the
+        absolute LRU clock nor the physical way a line landed in
+        matters: the same logical state (e.g. the same tile at the
+        start of successive identical iterations) hashes equally.
+        Under SRRIP the recency stamp equals the insertion stamp (the
+        policy's only ordering), so one sort covers both policies;
+        invalid ways all carry identical zeroed state and cannot break
+        canonicality.
+        """
+        perm = np.argsort(-self._ord, axis=1, kind="stable")
+        h = hashlib.blake2b(digest_size=16)
+        h.update(np.take_along_axis(self._tag, perm, axis=1).tobytes())
+        h.update(np.take_along_axis(self._fgt, perm[..., None], axis=1).tobytes())
+        h.update(np.take_along_axis(self._dirty, perm, axis=1).tobytes())
+        h.update(np.take_along_axis(self._rrpv, perm, axis=1).tobytes())
+        h.update(bytes([self.way_quota & 0xFF]))
+        return h.digest()
+
+    def state_snapshot(self) -> tuple:
+        return (
+            self._tag.copy(),
+            self._fgt.copy(),
+            self._dirty.copy(),
+            self._rrpv.copy(),
+            self._ord.copy(),
+            self._ins.copy(),
+            self._clock,
+        )
+
+    def state_restore(self, snap: tuple) -> None:
+        tag, fgt, dirty, rrpv, ord_, ins, clock = snap
+        np.copyto(self._tag, tag)
+        np.copyto(self._fgt, fgt)
+        np.copyto(self._dirty, dirty)
+        np.copyto(self._rrpv, rrpv)
+        np.copyto(self._ord, ord_)
+        np.copyto(self._ins, ins)
+        self._clock = clock
+
+    def counter_vector(self) -> tuple[int, ...]:
+        """Every externally visible counter (replay delta domain)."""
+        s = self.stats
+        return (
+            s.accesses,
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.writeback_bytes,
+            s.fill_bytes,
+            s.requested_bytes,
+            self.sector_replacements,
+            self.line_evictions,
+        )
+
+    def counter_apply(self, delta: tuple[int, ...]) -> None:
+        s = self.stats
+        s.accesses += delta[0]
+        s.hits += delta[1]
+        s.misses += delta[2]
+        s.evictions += delta[3]
+        s.writeback_bytes += delta[4]
+        s.fill_bytes += delta[5]
+        s.requested_bytes += delta[6]
+        self.sector_replacements += delta[7]
+        self.line_evictions += delta[8]
 
     # ------------------------------------------------------------------
     @property

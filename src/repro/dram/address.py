@@ -121,6 +121,29 @@ class AddressMapper:
             (addrs >> self._word_shift) & (words_per_burst - 1)
         )
 
+    def decode_fim_many(
+        self, addrs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`decode_scalar`: one pass for a whole event
+        stream.
+
+        Returns ``(channel, rank, global_bank, row, row_key, word)``
+        arrays -- everything the collection-extended MSHR's batch path
+        needs, matching the scalar decode bit for bit.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        channel, rank, bank, row, column = self.decode_many(addrs)
+        spec = self.config.spec
+        global_bank = (
+            channel * self.config.ranks + rank
+        ) * spec.banks_per_rank + bank
+        row_key = row * self.config.total_banks + global_bank
+        words_per_burst = spec.burst_bytes >> 3
+        word = column * words_per_burst + (
+            (addrs >> self._word_shift) & (words_per_burst - 1)
+        )
+        return channel, rank, global_bank, row, row_key, word
+
     def channel_of_many(self, addrs: np.ndarray) -> np.ndarray:
         """Vectorised channel index."""
         addrs = np.asarray(addrs, dtype=np.int64)

@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""Wall-clock regression harness for the memory-path hot loop.
+
+Times representative Fig. 10 / Fig. 11 cells (the random-access
+cache/MSHR path dominates all of them) and appends a point to the
+``BENCH_hotpath.json`` trajectory at the repo root, so every PR can
+*show* its speedup or regression against the recorded history instead
+of asserting it.  The first trajectory point is the seed
+implementation, measured from a pristine checkout; per-cell and per-row
+(system) speedups are reported against it.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_report.py                # full grid
+    PYTHONPATH=src python tools/perf_report.py --quick        # CI smoke
+    PYTHONPATH=src python tools/perf_report.py --scalar-baseline
+    PYTHONPATH=src python tools/perf_report.py --no-write
+
+``--scalar-baseline`` times the seed-identical scalar fallback loop
+(``repro.core.memory_path.BATCHED_DEFAULT = False``) instead of the
+batched engine -- useful to re-derive a baseline on new hardware
+without checking out the seed commit.
+
+Workload notes: BFS runs to frontier exhaustion; PR runs 12 identical
+power iterations (the figure harness caps PR at 3 purely for seed
+wall-clock reasons -- the paper itself runs up to 40, so a deeper run is
+the *representative* cost of the workload, and is exactly where the
+batch-replay memo pays off).  The Piccolo (RRIP) cell stands in for the
+Fig. 11 fine-grained design sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import time
+from datetime import datetime, timezone
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO_ROOT / "BENCH_hotpath.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import memory_path  # noqa: E402
+from repro.core.piccolo_cache import PiccoloCache  # noqa: E402
+from repro.experiments.runner import clear_result_cache, run_system  # noqa: E402
+
+#: (cell name, row/system, algorithm, dataset, max_iterations, kwargs)
+FULL_CELLS = [
+    ("fig10/Piccolo/BFS/TW", "Piccolo", "BFS", "TW", 40, {}),
+    ("fig10/Piccolo/PR/TW", "Piccolo", "PR", "TW", 12, {}),
+    ("fig10/GraphDyns-Cache/BFS/TW", "GraphDyns (Cache)", "BFS", "TW", 40, {}),
+    ("fig10/GraphDyns-Cache/PR/TW", "GraphDyns (Cache)", "PR", "TW", 12, {}),
+    ("fig10/NMP/BFS/TW", "NMP", "BFS", "TW", 40, {}),
+    ("fig10/NMP/PR/TW", "NMP", "PR", "TW", 12, {}),
+    (
+        "fig11/Piccolo-RRIP/PR/TW",
+        "Piccolo (RRIP)",
+        "Piccolo",
+        "PR",
+        "TW",
+        12,
+    ),
+]
+# distinct names: quick cells run fewer iterations, so they must never
+# be compared against the full-grid baseline entries
+QUICK_CELLS = [
+    ("quick/Piccolo/PR3/TW", "Piccolo", "PR", "TW", 3, {}),
+    ("quick/GraphDyns-Cache/PR3/TW", "GraphDyns (Cache)", "PR", "TW", 3, {}),
+]
+
+
+def _normalise(cells):
+    out = []
+    for cell in cells:
+        if len(cell) == 6 and isinstance(cell[5], dict):
+            out.append(cell)
+        else:  # fig11 RRIP row: (name, row, system, alg, ds, iters)
+            name, row, system, alg, ds, iters = cell
+            out.append(
+                (
+                    name,
+                    row,
+                    alg,
+                    ds,
+                    iters,
+                    {
+                        "_system": system,
+                        "cache_factory": lambda size: PiccoloCache(
+                            size, ways=8, fg_tag_bits=4, policy="rrip"
+                        ),
+                    },
+                )
+            )
+    return out
+
+
+def time_cell(system, algorithm, dataset, max_iterations, kwargs, repeats):
+    best = math.inf
+    extra = dict(kwargs)
+    system = extra.pop("_system", system)
+    for _ in range(repeats):
+        clear_result_cache()
+        start = time.perf_counter()
+        run_system(
+            system,
+            algorithm,
+            dataset,
+            max_iterations=max_iterations,
+            **extra,
+        )
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_suite(cells, repeats):
+    times = {}
+    for name, row, algorithm, dataset, iters, kwargs in cells:
+        times[name] = round(
+            time_cell(row, algorithm, dataset, iters, kwargs, repeats), 4
+        )
+        print(f"  {name:38s} {times[name]:8.3f} s", flush=True)
+    return times
+
+
+def row_totals(cells, times):
+    rows: dict[str, float] = {}
+    for name, row, *_ in cells:
+        if name in times:
+            rows[row] = rows.get(row, 0.0) + times[name]
+    return rows
+
+
+def load_trajectory(path):
+    if path.exists():
+        return json.loads(path.read_text())
+    return {"workloads": {}, "trajectory": []}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke subset")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--scalar-baseline",
+        action="store_true",
+        help="time the seed-identical scalar fallback instead",
+    )
+    parser.add_argument("--label", default=None)
+    parser.add_argument("--json", type=pathlib.Path, default=DEFAULT_JSON)
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure and print only"
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    cells = _normalise(QUICK_CELLS if args.quick else FULL_CELLS)
+    mode = "scalar" if args.scalar_baseline else "batched"
+    if args.scalar_baseline:
+        memory_path.BATCHED_DEFAULT = False
+    label = args.label or mode
+
+    print(f"perf_report: mode={mode} repeats={args.repeats} cells={len(cells)}")
+    times = run_suite(cells, args.repeats)
+
+    report = load_trajectory(args.json)
+    baseline = report["trajectory"][0] if report["trajectory"] else None
+    point = {
+        "label": label,
+        "mode": mode,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": bool(args.quick),
+        "times": times,
+    }
+
+    shared = []
+    if baseline is not None:
+        base_times = baseline["times"]
+        shared = [c for c in cells if c[0] in base_times and c[0] in times]
+    if shared:
+        point["speedup_vs_baseline"] = {
+            name: round(base_times[name] / times[name], 3)
+            for name, *_ in shared
+        }
+        rows_new = row_totals(shared, times)
+        rows_base = row_totals(shared, base_times)
+        point["row_speedup_vs_baseline"] = {
+            row: round(rows_base[row] / rows_new[row], 3) for row in rows_new
+        }
+        print(f"\nvs baseline point {baseline['label']!r}:")
+        for name, speedup in point["speedup_vs_baseline"].items():
+            print(f"  {name:38s} {speedup:7.2f}x")
+        print("row totals:")
+        for row, speedup in point["row_speedup_vs_baseline"].items():
+            print(f"  {row:38s} {speedup:7.2f}x")
+    elif baseline is None:
+        print("no baseline trajectory point yet; this run becomes it")
+    else:
+        print("no cells shared with the baseline point (quick mode?); "
+              "skipping speedup comparison")
+
+    if not args.no_write:
+        for name, row, algorithm, dataset, iters, _ in cells:
+            report["workloads"].setdefault(
+                name,
+                {
+                    "row": row,
+                    "algorithm": algorithm,
+                    "dataset": dataset,
+                    "max_iterations": iters,
+                },
+            )
+        report["trajectory"].append(point)
+        args.json.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"\nappended trajectory point {label!r} to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

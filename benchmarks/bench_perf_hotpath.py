@@ -14,6 +14,9 @@ Run with::
 
 import time
 
+import pytest
+
+from repro.cache.variants import FIG11_VARIANTS
 from repro.core import memory_path
 from repro.experiments.runner import clear_result_cache, run_system
 
@@ -72,3 +75,62 @@ def test_results_identical_across_modes():
     assert fast.dram.read_bursts == slow.dram.read_bursts
     assert fast.dram.write_bursts == slow.dram.write_bursts
     assert fast.mshr_ops == slow.mshr_ops
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 design-sweep smoke: every variant engine must stay equivalent
+# to its scalar loop *and* faster than it (same substitution
+# ``figures.figure_11`` makes: the Piccolo system with the design's
+# cache swapped in).
+# ---------------------------------------------------------------------------
+def _run_variant(design, batched, iterations):
+    previous = memory_path.BATCHED_DEFAULT
+    memory_path.BATCHED_DEFAULT = batched
+    factory = FIG11_VARIANTS[design]
+    try:
+        clear_result_cache()
+        start = time.perf_counter()
+        result = run_system(
+            "Piccolo",
+            "PR",
+            "TW",
+            max_iterations=iterations,
+            cache_factory=lambda size: factory(size),
+        )
+        return result, time.perf_counter() - start
+    finally:
+        memory_path.BATCHED_DEFAULT = previous
+        clear_result_cache()
+
+
+@pytest.mark.parametrize("design", sorted(FIG11_VARIANTS))
+def test_fig11_variant_identical_across_modes(design):
+    """Per-variant equivalence guard at the whole-system level."""
+    fast, _ = _run_variant(design, batched=True, iterations=2)
+    slow, _ = _run_variant(design, batched=False, iterations=2)
+    assert fast.total_ns == slow.total_ns
+    assert fast.cache_hits == slow.cache_hits
+    assert fast.cache_misses == slow.cache_misses
+    assert fast.dram.read_bursts == slow.dram.read_bursts
+    assert fast.dram.write_bursts == slow.dram.write_bursts
+    assert fast.mshr_ops == slow.mshr_ops
+
+
+def test_fig11_variants_batched_beats_scalar(capsys):
+    """Summed over the design sweep, the batched engines must win."""
+    run_system("Piccolo", "PR", "TW", max_iterations=1)  # warm dataset cache
+    scalar = batched = 0.0
+    for design in FIG11_VARIANTS:
+        _, dt = _run_variant(design, batched=False, iterations=3)
+        scalar += dt
+        _, dt = _run_variant(design, batched=True, iterations=3)
+        batched += dt
+    with capsys.disabled():
+        print(
+            f"\nfig11 variant smoke: scalar {scalar:.2f}s, batched "
+            f"{batched:.2f}s, speedup {scalar / batched:.2f}x"
+        )
+    # full-grid trajectory shows much more; require a safe margin in CI
+    assert batched < scalar / 2.0, (
+        f"variant batched path regressed: {batched:.2f}s vs {scalar:.2f}s"
+    )

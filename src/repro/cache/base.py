@@ -10,7 +10,7 @@ models ideal MSHR merging of misses to in-flight lines.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import NamedTuple
 
 import numpy as np
@@ -110,7 +110,8 @@ class BaseCache(ABC):
         :class:`BatchResult`.  Array-backed designs override this with a
         vectorized engine; every override must stay event-for-event
         identical to this loop (the batched-equivalence suite enforces
-        it).
+        it).  The engine recipe and the shared machinery live in
+        :mod:`repro.cache.batched` / docs/CACHE_ENGINES.md.
         """
         ev_addr: list[int] = []
         ev_is_wb: list[bool] = []
@@ -159,12 +160,3 @@ class BaseCache(ABC):
     @abstractmethod
     def tag_overhead_bits(self) -> int:
         """Total tag/metadata storage in bits (area/energy accounting)."""
-
-
-@dataclass
-class _Way:
-    """One way of a set for line-granularity caches."""
-
-    tag: int = -1
-    dirty: bool = False
-    extra: dict = field(default_factory=dict)

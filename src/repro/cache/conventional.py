@@ -18,15 +18,19 @@ replays the runs in one tight loop.
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 
 from repro.cache.base import AccessResult, BaseCache, BatchResult
+from repro.cache.batched import (
+    BatchedCacheEngine,
+    empty_batch,
+    pack_events,
+    split_free_mru,
+)
 from repro.utils.units import log2_exact
 
 
-class ConventionalCache(BaseCache):
+class ConventionalCache(BatchedCacheEngine, BaseCache):
     """LRU set-associative cache with burst-sized lines.
 
     Args:
@@ -35,6 +39,12 @@ class ConventionalCache(BaseCache):
         line_bytes: line (and fill/write-back) granularity.
         addr_bits: modelled physical address width (tag accounting).
     """
+
+    # Replay-memo state layout (see cache/batched.py).
+    CANONICAL_ARRAYS = ("_block", "_dirty", "_touched")
+    STATE_ARRAYS = ("_block", "_dirty", "_touched", "_ord")
+    STATE_SCALARS = ("_clock",)
+    EXTRA_COUNTERS = ("useful_fill_bytes", "useful_wb_bytes")
 
     def __init__(
         self,
@@ -131,11 +141,9 @@ class ConventionalCache(BaseCache):
         addrs = np.asarray(addrs, dtype=np.int64)
         n = int(addrs.size)
         if n == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return BatchResult(0, 0, empty, np.empty(0, dtype=bool), empty)
+            return empty_batch()
 
         shift = self._line_shift
-        nways = self.ways
         line_bytes = self.line_bytes
 
         blocks = addrs >> shift
@@ -168,17 +176,8 @@ class ConventionalCache(BaseCache):
             dirty = self._dirty[s].tolist()
             touched = self._touched[s].tolist()
             ord_ = self._ord[s].tolist()
-            bmap: dict[int, int] = {}
-            free: list[int] = []
-            order: list[int] = []
-            for w in sorted(range(nways), key=ord_.__getitem__, reverse=True):
-                b = blk[w]
-                if b == -1:
-                    free.append(w)
-                else:
-                    bmap[b] = w
-                    order.append(w)
-            free.sort()
+            free, order = split_free_mru(blk, ord_)
+            bmap = {blk[w]: w for w in order}
             state[s] = (blk, dirty, touched, ord_, bmap, free, order)
 
         events: list[int] = []
@@ -246,14 +245,7 @@ class ConventionalCache(BaseCache):
         self.useful_fill_bytes += 8 * useful_fill
         self.useful_wb_bytes += 8 * useful_wb
 
-        packed = np.asarray(events, dtype=np.int64)
-        return BatchResult(
-            accesses=n,
-            hits=hits,
-            ev_addr=packed & -2,
-            ev_is_wb=(packed & 1).astype(bool),
-            ev_bytes=np.full(packed.size, line_bytes, dtype=np.int64),
-        )
+        return pack_events(n, hits, events, line_bytes)
 
     # ------------------------------------------------------------------
     def flush(self) -> list[tuple[int, int]]:
@@ -272,64 +264,6 @@ class ConventionalCache(BaseCache):
         self._touched.fill(0)
         self._ord.fill(0)
         return writebacks
-
-    # ------------------------------------------------------------------
-    # Exact-replay support (core.memory_path batch memoisation)
-    # ------------------------------------------------------------------
-    def state_digest(self) -> bytes:
-        """Canonical digest of the replacement state: lines hash in
-        per-set MRU-first order, so neither the absolute clock nor the
-        physical way assignment matters."""
-        perm = np.argsort(-self._ord, axis=1, kind="stable")
-        h = hashlib.blake2b(digest_size=16)
-        h.update(np.take_along_axis(self._block, perm, axis=1).tobytes())
-        h.update(np.take_along_axis(self._dirty, perm, axis=1).tobytes())
-        h.update(np.take_along_axis(self._touched, perm, axis=1).tobytes())
-        return h.digest()
-
-    def state_snapshot(self) -> tuple:
-        return (
-            self._block.copy(),
-            self._dirty.copy(),
-            self._touched.copy(),
-            self._ord.copy(),
-            self._clock,
-        )
-
-    def state_restore(self, snap: tuple) -> None:
-        block, dirty, touched, ord_, clock = snap
-        np.copyto(self._block, block)
-        np.copyto(self._dirty, dirty)
-        np.copyto(self._touched, touched)
-        np.copyto(self._ord, ord_)
-        self._clock = clock
-
-    def counter_vector(self) -> tuple[int, ...]:
-        """Every externally visible counter (replay delta domain)."""
-        s = self.stats
-        return (
-            s.accesses,
-            s.hits,
-            s.misses,
-            s.evictions,
-            s.writeback_bytes,
-            s.fill_bytes,
-            s.requested_bytes,
-            self.useful_fill_bytes,
-            self.useful_wb_bytes,
-        )
-
-    def counter_apply(self, delta: tuple[int, ...]) -> None:
-        s = self.stats
-        s.accesses += delta[0]
-        s.hits += delta[1]
-        s.misses += delta[2]
-        s.evictions += delta[3]
-        s.writeback_bytes += delta[4]
-        s.fill_bytes += delta[5]
-        s.requested_bytes += delta[6]
-        self.useful_fill_bytes += delta[7]
-        self.useful_wb_bytes += delta[8]
 
     # ------------------------------------------------------------------
     @property

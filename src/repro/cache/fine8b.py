@@ -4,6 +4,14 @@ Every 8-byte word gets its own tag, so only useful data is ever resident
 -- the performance upper bound of Fig. 11 -- but the tag store costs
 ~45 % of the data capacity at 4 MB/48-bit addressing (Sec. V-A), which is
 why Piccolo-cache exists.
+
+Batched engine (docs/CACHE_ENGINES.md): the design is exactly a
+conventional LRU cache specialised to 8 B lines, so it inherits
+:class:`~repro.cache.conventional.ConventionalCache`'s array-backed
+``access_many`` engine and replay hooks unchanged -- a one-word line
+means the touched/dirty masks collapse to single bits and the
+same-block run compression degenerates to same-word runs, with no
+behavioural difference from the scalar loop.
 """
 
 from __future__ import annotations

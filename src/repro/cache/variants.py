@@ -1,7 +1,7 @@
-"""Published fine-grained cache designs compared in Fig. 11.
+"""Registry of the fine-grained cache designs compared in Fig. 11.
 
-Compatibility facade: the three designs now have full functional
-models in their own modules --
+The three published designs have full functional models in their own
+modules --
 
 - :mod:`repro.cache.amoeba`: variable-granularity blocks with in-array
   tags and a spatial-granularity predictor (Kumar et al., MICRO'12);
@@ -17,10 +17,40 @@ hit behaviour at much higher metadata cost), implemented as a real
 cache rather than a scaled approximation.  The paper applied "slight
 modifications to get better performance for graph processing"
 (Sec. VII-A); these models do the same.
+
+Every design in :data:`FIG11_VARIANTS` (the two published sectored/
+8 B-line references included) carries an array-backed ``access_many``
+engine (docs/CACHE_ENGINES.md), so the whole Fig. 11 sweep runs on the
+batched memory path.  The batched-equivalence suite, the CI variant
+smoke, and ``tools/perf_report.py`` all derive their design lists from
+this registry, so adding a design here automatically subjects it to
+all three; only the figure itself
+(``experiments.figures.CACHE_DESIGNS``) stays hand-listed, because its
+entry order is the plotting order.
 """
 
 from repro.cache.amoeba import AmoebaCache
+from repro.cache.fine8b import EightByteLineCache
 from repro.cache.graphfire import GraphfireCache
 from repro.cache.scrabble import ScrabbleCache
+from repro.cache.sectored import SectoredCache
 
-__all__ = ["AmoebaCache", "GraphfireCache", "ScrabbleCache"]
+#: Fig. 11 design name -> cache factory ``(size_bytes, ways) -> cache``.
+#: The batched-equivalence suite and ``tools/perf_report.py`` iterate
+#: this registry; keep entries in the figure's plotting order.
+FIG11_VARIANTS = {
+    "Sectored": lambda size, ways=8: SectoredCache(size, ways=ways),
+    "Amoeba": lambda size, ways=8: AmoebaCache(size, ways=ways),
+    "Scrabble": lambda size, ways=8: ScrabbleCache(size, ways=ways),
+    "Graphfire": lambda size, ways=8: GraphfireCache(size, ways=ways),
+    "8B-Line": lambda size, ways=8: EightByteLineCache(size, ways=ways),
+}
+
+__all__ = [
+    "AmoebaCache",
+    "EightByteLineCache",
+    "FIG11_VARIANTS",
+    "GraphfireCache",
+    "ScrabbleCache",
+    "SectoredCache",
+]

@@ -41,11 +41,10 @@ behaviourally identical (enforced by tests/test_batched_equivalence.py).
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 
 from repro.cache.base import AccessResult, BaseCache, BatchResult
+from repro.cache.batched import BatchedCacheEngine, empty_batch, pack_events
 from repro.utils.units import log2_exact
 
 #: SRRIP constants (2-bit re-reference prediction values).
@@ -66,7 +65,7 @@ class _LineView:
         self.rrpv = rrpv
 
 
-class PiccoloCache(BaseCache):
+class PiccoloCache(BatchedCacheEngine, BaseCache):
     """The split-tag fine-grained cache of Sec. V.
 
     Args:
@@ -79,6 +78,15 @@ class PiccoloCache(BaseCache):
         policy: ``"lru"`` or ``"rrip"``.
         addr_bits: modelled address width (tag accounting only).
     """
+
+    # Replay-memo state layout (see cache/batched.py).  ``way_quota``
+    # joins the digest raw: the same line state behaves differently
+    # under a different quota.
+    CANONICAL_ARRAYS = ("_tag", "_fgt", "_dirty", "_rrpv")
+    DIGEST_RAW = ("way_quota",)
+    STATE_ARRAYS = ("_tag", "_fgt", "_dirty", "_rrpv", "_ord", "_ins")
+    STATE_SCALARS = ("_clock",)
+    EXTRA_COUNTERS = ("sector_replacements", "line_evictions")
 
     def __init__(
         self,
@@ -281,8 +289,7 @@ class PiccoloCache(BaseCache):
         addrs = np.asarray(addrs, dtype=np.int64)
         n = int(addrs.size)
         if n == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return BatchResult(0, 0, empty, np.empty(0, dtype=bool), empty)
+            return empty_batch()
 
         sectors = self.sectors_per_line
         sector_mask = self.sector_bytes - 1
@@ -466,14 +473,7 @@ class PiccoloCache(BaseCache):
         self.sector_replacements += sector_repl
         self.line_evictions += line_evict
 
-        packed = np.asarray(events, dtype=np.int64)
-        return BatchResult(
-            accesses=n,
-            hits=hits,
-            ev_addr=packed & -2,
-            ev_is_wb=(packed & 1).astype(bool),
-            ev_bytes=np.full(packed.size, self.sector_bytes, dtype=np.int64),
-        )
+        return pack_events(n, hits, events, self.sector_bytes)
 
     @staticmethod
     def _rrip_victim(cands, rrpv, ins) -> int:
@@ -531,78 +531,6 @@ class PiccoloCache(BaseCache):
         self._ord.fill(0)
         self._ins.fill(0)
         return writebacks
-
-    # ------------------------------------------------------------------
-    # Exact-replay support (core.memory_path batch memoisation)
-    # ------------------------------------------------------------------
-    def state_digest(self) -> bytes:
-        """Canonical digest of the replacement state.
-
-        Lines are hashed in per-set MRU-first order, so neither the
-        absolute LRU clock nor the physical way a line landed in
-        matters: the same logical state (e.g. the same tile at the
-        start of successive identical iterations) hashes equally.
-        Under SRRIP the recency stamp equals the insertion stamp (the
-        policy's only ordering), so one sort covers both policies;
-        invalid ways all carry identical zeroed state and cannot break
-        canonicality.
-        """
-        perm = np.argsort(-self._ord, axis=1, kind="stable")
-        h = hashlib.blake2b(digest_size=16)
-        h.update(np.take_along_axis(self._tag, perm, axis=1).tobytes())
-        h.update(np.take_along_axis(self._fgt, perm[..., None], axis=1).tobytes())
-        h.update(np.take_along_axis(self._dirty, perm, axis=1).tobytes())
-        h.update(np.take_along_axis(self._rrpv, perm, axis=1).tobytes())
-        h.update(bytes([self.way_quota & 0xFF]))
-        return h.digest()
-
-    def state_snapshot(self) -> tuple:
-        return (
-            self._tag.copy(),
-            self._fgt.copy(),
-            self._dirty.copy(),
-            self._rrpv.copy(),
-            self._ord.copy(),
-            self._ins.copy(),
-            self._clock,
-        )
-
-    def state_restore(self, snap: tuple) -> None:
-        tag, fgt, dirty, rrpv, ord_, ins, clock = snap
-        np.copyto(self._tag, tag)
-        np.copyto(self._fgt, fgt)
-        np.copyto(self._dirty, dirty)
-        np.copyto(self._rrpv, rrpv)
-        np.copyto(self._ord, ord_)
-        np.copyto(self._ins, ins)
-        self._clock = clock
-
-    def counter_vector(self) -> tuple[int, ...]:
-        """Every externally visible counter (replay delta domain)."""
-        s = self.stats
-        return (
-            s.accesses,
-            s.hits,
-            s.misses,
-            s.evictions,
-            s.writeback_bytes,
-            s.fill_bytes,
-            s.requested_bytes,
-            self.sector_replacements,
-            self.line_evictions,
-        )
-
-    def counter_apply(self, delta: tuple[int, ...]) -> None:
-        s = self.stats
-        s.accesses += delta[0]
-        s.hits += delta[1]
-        s.misses += delta[2]
-        s.evictions += delta[3]
-        s.writeback_bytes += delta[4]
-        s.fill_bytes += delta[5]
-        s.requested_bytes += delta[6]
-        self.sector_replacements += delta[7]
-        self.line_evictions += delta[8]
 
     # ------------------------------------------------------------------
     @property

@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro.cache.base import BaseCache
 from repro.cache.conventional import ConventionalCache
+from repro.cache.variants import FIG11_VARIANTS
 from repro.core.collection_mshr import CollectionExtendedMSHR
 from repro.core.memory_path import (
     ConventionalMemoryPath,
@@ -51,6 +52,15 @@ CACHE_FACTORIES = {
     "piccolo-quota": lambda: _quota_cache(),
     "conventional": lambda: ConventionalCache(1024, ways=2),
 }
+# Every Fig. 11 registry design rides along automatically, at a small
+# geometry that thrashes (the registry is the single source of truth:
+# a design added there enters this suite unasked).
+CACHE_FACTORIES.update(
+    {
+        f"fig11-{name.lower()}": (lambda _f=factory: _f(1024, 4))
+        for name, factory in FIG11_VARIANTS.items()
+    }
+)
 
 
 def _quota_cache():
@@ -77,12 +87,9 @@ def scalar_batch(cache, addrs, rmw):
 
 def cache_signature(cache):
     sig = dict(vars(cache.stats).items())
-    if isinstance(cache, PiccoloCache):
-        sig["sector_replacements"] = cache.sector_replacements
-        sig["line_evictions"] = cache.line_evictions
-    if isinstance(cache, ConventionalCache):
-        sig["useful_fill_bytes"] = cache.useful_fill_bytes
-        sig["useful_wb_bytes"] = cache.useful_wb_bytes
+    # every counter a batched engine declares beyond CacheStats
+    for name in getattr(cache, "EXTRA_COUNTERS", ()):
+        sig[name] = getattr(cache, name)
     return sig
 
 
@@ -145,7 +152,11 @@ def drain_all(path):
     return ops, addrs.tolist(), writes.tolist()
 
 
-@pytest.mark.parametrize("kind", ["piccolo-lru", "piccolo-rrip", "conventional"])
+@pytest.mark.parametrize(
+    "kind",
+    ["piccolo-lru", "piccolo-rrip", "conventional"]
+    + [f"fig11-{name.lower()}" for name in FIG11_VARIANTS],
+)
 @pytest.mark.parametrize("monitor", [False, True])
 @settings(max_examples=25, deadline=None)
 @given(addrs=addr_streams, seed=chunk_seed, rmw=rmw_flags)
@@ -195,15 +206,19 @@ def test_conventional_path_batched_matches_scalar(addrs, seed, rmw):
     assert cache_signature(path_b.cache) == cache_signature(path_s.cache)
 
 
+@pytest.mark.parametrize(
+    "kind",
+    ["piccolo-lru"] + [f"fig11-{name.lower()}" for name in FIG11_VARIANTS],
+)
 @settings(max_examples=25, deadline=None)
 @given(addrs=addr_streams, seed=chunk_seed)
-def test_replay_memo_is_transparent(addrs, seed):
+def test_replay_memo_is_transparent(kind, addrs, seed):
     """Feeding the same batch sequence twice (second pass replayed from
     the memo) must match a memo-less path exactly."""
     mapper = make_mapper()
 
     def build(capacity):
-        cache = PiccoloCache(1024, ways=4, fg_tag_bits=4)
+        cache = CACHE_FACTORIES[kind]()
         mshr = CollectionExtendedMSHR(mapper, num_entries=16, items_per_op=4)
         return FineGrainedMemoryPath(cache, mshr, replay_capacity=capacity)
 

@@ -18,8 +18,20 @@ Usage::
 
 ``--scalar-baseline`` times the seed-identical scalar fallback loop
 (``repro.core.memory_path.BATCHED_DEFAULT = False``) instead of the
-batched engine -- useful to re-derive a baseline on new hardware
-without checking out the seed commit.
+batched engine.  Per-cell baselines come from the *earliest*
+scalar-mode trajectory point that timed the cell, so cells added after
+the seed point (the Fig. 11 variant rows) get their own recorded
+scalar baseline: record one with
+``--scalar-baseline --only fig11/ --label scalar-fig11-variants``
+before the first batched point that includes them.  A later scalar run
+over already-baselined cells is recorded but does *not* replace their
+baseline (the tool warns); to re-derive baselines on new hardware
+without checking out the seed commit, record a full
+``--scalar-baseline`` run into a fresh trajectory file
+(``--json BENCH_hotpath.<host>.json``).
+
+``--only PREFIX`` restricts the run to cells whose name starts with
+``PREFIX`` (e.g. ``--only fig11/``).
 
 Workload notes: BFS runs to frontier exhaustion; PR runs 12 identical
 power iterations (the figure harness caps PR at 3 purely for seed
@@ -44,9 +56,25 @@ DEFAULT_JSON = REPO_ROOT / "BENCH_hotpath.json"
 
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.cache.variants import FIG11_VARIANTS  # noqa: E402
 from repro.core import memory_path  # noqa: E402
 from repro.core.piccolo_cache import PiccoloCache  # noqa: E402
 from repro.experiments.runner import clear_result_cache, run_system  # noqa: E402
+
+
+def _variant_cell(design):
+    """A Fig. 11 design-sweep cell: the Piccolo system with the design's
+    cache substituted (same substitution ``figures.figure_11`` makes)."""
+    factory = FIG11_VARIANTS[design]
+    return (
+        f"fig11/{design}/PR/TW",
+        design,
+        "PR",
+        "TW",
+        12,
+        {"_system": "Piccolo", "cache_factory": lambda size: factory(size)},
+    )
+
 
 #: (cell name, row/system, algorithm, dataset, max_iterations, kwargs)
 FULL_CELLS = [
@@ -64,7 +92,7 @@ FULL_CELLS = [
         "TW",
         12,
     ),
-]
+] + [_variant_cell(design) for design in FIG11_VARIANTS]
 # distinct names: quick cells run fewer iterations, so they must never
 # be compared against the full-grid baseline entries
 QUICK_CELLS = [
@@ -140,6 +168,26 @@ def load_trajectory(path):
     return {"workloads": {}, "trajectory": []}
 
 
+#: trajectory modes that qualify as a speedup baseline: the pristine
+#: seed checkout, or the seed-identical scalar fallback re-timed later
+#: (how cells added after the seed point get a baseline)
+BASELINE_MODES = ("seed-checkout", "scalar")
+
+
+def baseline_times(report):
+    """Per-cell baseline: the earliest scalar-mode point timing the cell."""
+    times: dict[str, float] = {}
+    labels: dict[str, str] = {}
+    for point in report["trajectory"]:
+        if point.get("mode") not in BASELINE_MODES:
+            continue
+        for name, seconds in point["times"].items():
+            if name not in times:
+                times[name] = seconds
+                labels[name] = point["label"]
+    return times, labels
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke subset")
@@ -154,11 +202,23 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-write", action="store_true", help="measure and print only"
     )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="PREFIXES",
+        help="restrict to cells whose name starts with one of the "
+        "comma-separated prefixes",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
     cells = _normalise(QUICK_CELLS if args.quick else FULL_CELLS)
+    if args.only:
+        prefixes = tuple(p for p in args.only.split(",") if p)
+        cells = [c for c in cells if c[0].startswith(prefixes)]
+        if not cells:
+            parser.error(f"--only {args.only!r} matches no cells")
     mode = "scalar" if args.scalar_baseline else "batched"
     if args.scalar_baseline:
         memory_path.BATCHED_DEFAULT = False
@@ -168,7 +228,7 @@ def main(argv=None) -> int:
     times = run_suite(cells, args.repeats)
 
     report = load_trajectory(args.json)
-    baseline = report["trajectory"][0] if report["trajectory"] else None
+    base_times, base_labels = baseline_times(report)
     point = {
         "label": label,
         "mode": mode,
@@ -177,10 +237,16 @@ def main(argv=None) -> int:
         "times": times,
     }
 
-    shared = []
-    if baseline is not None:
-        base_times = baseline["times"]
-        shared = [c for c in cells if c[0] in base_times and c[0] in times]
+    shared = [c for c in cells if c[0] in base_times and c[0] in times]
+    if mode in BASELINE_MODES:
+        # a baseline run records reference times, it does not compare
+        if shared:
+            print(
+                "\nnote: earliest scalar point wins -- these cells keep "
+                "their existing baselines: "
+                + ", ".join(f"{name} ({base_labels[name]})" for name, *_ in shared)
+            )
+        shared = []
     if shared:
         point["speedup_vs_baseline"] = {
             name: round(base_times[name] / times[name], 3)
@@ -191,16 +257,17 @@ def main(argv=None) -> int:
         point["row_speedup_vs_baseline"] = {
             row: round(rows_base[row] / rows_new[row], 3) for row in rows_new
         }
-        print(f"\nvs baseline point {baseline['label']!r}:")
+        labels = sorted({base_labels[name] for name, *_ in shared})
+        print(f"\nvs baseline point(s) {labels}:")
         for name, speedup in point["speedup_vs_baseline"].items():
             print(f"  {name:38s} {speedup:7.2f}x")
         print("row totals:")
         for row, speedup in point["row_speedup_vs_baseline"].items():
             print(f"  {row:38s} {speedup:7.2f}x")
-    elif baseline is None:
+    elif not base_times:
         print("no baseline trajectory point yet; this run becomes it")
-    else:
-        print("no cells shared with the baseline point (quick mode?); "
+    elif mode not in BASELINE_MODES:
+        print("no cells shared with a baseline point (quick mode?); "
               "skipping speedup comparison")
 
     if not args.no_write:

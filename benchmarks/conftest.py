@@ -9,8 +9,15 @@ the paper-vs-measured comparison.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+``--profile toy|mid|paper`` selects the experiment scale profile
+(see ``repro.experiments.config.PROFILES``); figures that take a
+``scale`` parameter run at that profile, and results files are suffixed
+with the profile name so toy outputs are never overwritten by scaled
+runs.
 """
 
+import inspect
 import pathlib
 import re
 
@@ -19,21 +26,51 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile",
+        default="toy",
+        choices=("toy", "mid", "paper"),
+        help="experiment scale profile for the figure benchmarks",
+    )
+
+
 @pytest.fixture
-def run_figure(benchmark, capsys):
+def experiment_scale(request):
+    """The selected scale profile (``--profile``, default toy)."""
+    from repro.experiments.config import get_profile
+
+    return get_profile(request.config.getoption("--profile", default="toy"))
+
+
+@pytest.fixture
+def run_figure(benchmark, capsys, experiment_scale):
     """Run a figure function once under pytest-benchmark and print it.
 
     The rendered table is printed through ``capsys.disabled()`` so it
     survives pytest's output capture, and is also written to
-    ``benchmarks/results/<slug>.txt`` for later inspection.
+    ``benchmarks/results/<slug>.txt`` for later inspection.  When a
+    non-toy ``--profile`` is selected, figures accepting a ``scale``
+    parameter run at that profile and the results file gains a
+    ``.<profile>`` suffix.
     """
 
     def _run(title, figure_fn, *args, **kwargs):
         from repro.experiments.figures import format_rows
 
+        scaled = False
+        if (
+            "scale" not in kwargs
+            and experiment_scale.name != "toy"
+            and "scale" in inspect.signature(figure_fn).parameters
+        ):
+            kwargs["scale"] = experiment_scale
+            scaled = True
         rows = benchmark.pedantic(
             lambda: figure_fn(*args, **kwargs), rounds=1, iterations=1
         )
+        if scaled:
+            title = f"{title} [{experiment_scale.name}]"
         text = format_rows(title, rows)
         with capsys.disabled():
             print(text)

@@ -39,11 +39,17 @@ class _ECSystem(AcceleratorSystem):
         onchip_bytes: int = 4096,
         tile_scale: int = 1,
         layout: MemoryLayout | None = None,
+        chunk_size: int | None = None,
+        replay_capacity: int | None = None,
     ) -> None:
         super().__init__(dram_config, pipeline)
         self.onchip_bytes = onchip_bytes
         self.tile_scale = tile_scale
         self.layout = layout if layout is not None else MemoryLayout()
+        #: memory-path knobs (scale-profile driven; None = module
+        #: defaults), mirroring the vertex-centric systems
+        self.chunk_size = chunk_size
+        self.replay_capacity = replay_capacity
 
     def tile_widths(self, graph: CSRGraph) -> tuple[int, int]:
         """(source, destination) tile widths in vertices."""
@@ -160,7 +166,12 @@ class ECPiccoloSystem(_ECSystem):
             num_entries=self.mshr_entries,
             items_per_op=self.dram_config.fim_items_per_op,
         )
-        self.path = FineGrainedMemoryPath(cache, mshr)
+        self.path = FineGrainedMemoryPath(
+            cache,
+            mshr,
+            replay_capacity=self.replay_capacity,
+            chunk_size=self.chunk_size,
+        )
 
     def _run_iteration(self, trace, result) -> None:
         layout = self.layout

@@ -50,6 +50,8 @@ class _VCMSystem(AcceleratorSystem):
         onchip_bytes: int | None = None,
         tile_scale: int | None = None,
         layout: MemoryLayout | None = None,
+        chunk_size: int | None = None,
+        replay_capacity: int | None = None,
     ) -> None:
         super().__init__(dram_config, pipeline)
         if onchip_bytes is not None:
@@ -58,6 +60,11 @@ class _VCMSystem(AcceleratorSystem):
             tile_scale if tile_scale is not None else self.default_tile_scale
         )
         self.layout = layout if layout is not None else MemoryLayout()
+        #: memory-path knobs (scale-profile driven; None keeps the
+        #: module defaults).  SPM/PIM systems have no cached random
+        #: path, so they simply ignore them.
+        self.chunk_size = chunk_size
+        self.replay_capacity = replay_capacity
 
     # -- hooks ----------------------------------------------------------
     def choose_tile_width(self, graph: CSRGraph) -> int:
@@ -244,7 +251,11 @@ class GraphDynsCacheSystem(_VCMSystem):
         cache = ConventionalCache(
             self.onchip_bytes, ways=self.cache_ways, line_bytes=64
         )
-        self.path = ConventionalMemoryPath(cache)
+        self.path = ConventionalMemoryPath(
+            cache,
+            replay_capacity=self.replay_capacity,
+            chunk_size=self.chunk_size,
+        )
 
     def random_access_phase(self, tile, result):
         layout = self.layout
@@ -323,7 +334,12 @@ class _FineGrainedSystem(_VCMSystem):
             items_per_op=self.dram_config.fim_items_per_op,
             rank_level=self.rank_level,
         )
-        self.path = FineGrainedMemoryPath(cache, mshr)
+        self.path = FineGrainedMemoryPath(
+            cache,
+            mshr,
+            replay_capacity=self.replay_capacity,
+            chunk_size=self.chunk_size,
+        )
 
     def random_access_phase(self, tile, result):
         layout = self.layout

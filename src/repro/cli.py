@@ -4,10 +4,14 @@ Commands:
 
 ``list``
     Show every reproducible figure with its paper headline.
-``figure <id> [--fast]``
+``figure <id> [--fast] [--profile NAME] [--chunk-size N]``
     Regenerate one figure table (e.g. ``fig10``, ``fig19b``).  With
     ``--fast`` the experiment grid is trimmed (fewer datasets and
-    iterations) for a quick smoke run.
+    iterations) for a quick smoke run.  ``--profile`` selects the
+    experiment scale (``toy`` default, ``mid``, ``paper``) and
+    ``--chunk-size`` overrides the profile's memory-path tile chunking.
+``profiles``
+    Print the scale-profile knob table (toy / mid / paper).
 ``microbench [--engine]``
     Run the Fig. 9 strided microbenchmark on the analytic model or the
     command-level engine.
@@ -77,15 +81,32 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    import dataclasses
+    import inspect
+
+    from repro.experiments.config import get_profile
+
     key = args.id.lower().replace(".", "").replace("_", "")
     if key not in FIGURES:
         print(f"unknown figure {args.id!r}; run `python -m repro list`",
               file=sys.stderr)
         return 2
     fn, headline, fast_kwargs = FIGURES[key]
-    kwargs = fast_kwargs if args.fast else {}
+    kwargs = dict(fast_kwargs) if args.fast else {}
+    scale = get_profile(args.profile)
+    if args.chunk_size is not None:
+        scale = dataclasses.replace(scale, chunk_size=args.chunk_size)
+    takes_scale = "scale" in inspect.signature(fn).parameters
+    if takes_scale:
+        kwargs["scale"] = scale
+    elif args.profile != "toy" or args.chunk_size is not None:
+        print(f"note: {key} does not take a scale profile; ignoring "
+              f"--profile/--chunk-size", file=sys.stderr)
     rows = fn(**kwargs)
-    figures.print_rows(f"{key} -- paper: {headline}", rows)
+    title = f"{key} -- paper: {headline}"
+    if takes_scale and scale.name != "toy":
+        title = f"{key} [{scale.name}] -- paper: {headline}"
+    figures.print_rows(title, rows)
     return 0
 
 
@@ -130,6 +151,24 @@ def _cmd_validate(_args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_profiles(_args: argparse.Namespace) -> int:
+    from repro.experiments.config import PROFILES
+
+    knob_rows = [profile.describe() for profile in PROFILES.values()]
+    keys = list(knob_rows[0])
+    width = max(len(k) for k in keys)
+    header = f"{'knob':<{width}}" + "".join(
+        f" {row['name']:>12}" for row in knob_rows
+    )
+    print(header)
+    for key in keys:
+        if key == "name":
+            continue
+        cells = "".join(f" {str(row[key]):>12}" for row in knob_rows)
+        print(f"{key:<{width}}{cells}")
+    return 0
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     from repro.graph.datasets import DATASETS, load_dataset
 
@@ -157,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("id", help="figure id, e.g. fig10")
     figure.add_argument("--fast", action="store_true",
                         help="trimmed grid for a quick smoke run")
+    from repro.experiments.config import PROFILES
+
+    figure.add_argument("--profile", default="toy", choices=sorted(PROFILES),
+                        help="experiment scale profile (default: toy)")
+    figure.add_argument("--chunk-size", type=int, default=None,
+                        metavar="N",
+                        help="override the profile's memory-path tile "
+                        "chunking (accesses per chunk)")
     figure.set_defaults(fn=_cmd_figure)
     micro = sub.add_parser("microbench", help="Fig. 9 strided sweep")
     micro.add_argument("--engine", action="store_true",
@@ -165,6 +212,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "validate", help="protocol validation (FPGA-emulation substitute)"
     ).set_defaults(fn=_cmd_validate)
+    sub.add_parser(
+        "profiles", help="scale-profile knob table (toy / mid / paper)"
+    ).set_defaults(fn=_cmd_profiles)
     sub.add_parser("datasets", help="scaled dataset registry").set_defaults(
         fn=_cmd_datasets
     )

@@ -31,6 +31,14 @@ against.  On top of the batched engine, an exact replay memo
 state, address stream) triple was simulated before -- e.g. PageRank
 re-running identical iterations -- and replays the recorded events,
 counter deltas, and end state instead of re-simulating.
+
+Chunked tile streaming (paper-scale profiles): a finite ``chunk_size``
+streams each ``run`` batch through the engine in bounded chunks, so
+per-batch temporaries -- event arrays, memo records -- stay O(chunk)
+instead of O(tile) while the produced counters and event streams remain
+bit-identical to whole-tile execution (the engine is exactly equivalent
+to the scalar loop, which has no batch boundaries, and all cross-chunk
+state carries over).
 """
 
 from __future__ import annotations
@@ -50,6 +58,11 @@ BATCHED_DEFAULT = True
 #: default replay-memo capacity (distinct batches remembered per path);
 #: 0 disables replay
 REPLAY_CAPACITY_DEFAULT = 256
+#: default tile chunk size: each ``run`` batch is streamed in bounded
+#: chunks of this many accesses (None = whole-tile batches).  Paper-scale
+#: profiles set a finite chunk so per-batch temporaries and replay-memo
+#: records stay O(chunk) instead of O(tile).
+CHUNK_SIZE_DEFAULT: int | None = None
 
 
 class BatchReplayMemo:
@@ -62,10 +75,15 @@ class BatchReplayMemo:
     re-simulating.  Digests use canonical (rank-based) recency, so the
     identical iterations of stationary algorithms hit even though the
     absolute LRU clock advanced.
+
+    ``capacity=0`` disables the memo entirely: no digests are hashed, no
+    sightings are tracked, and no snapshots are recorded (``enabled`` is
+    False and every method short-circuits).
     """
 
     def __init__(self, capacity: int = REPLAY_CAPACITY_DEFAULT) -> None:
         self.capacity = capacity
+        self.enabled = capacity > 0
         self._memo: OrderedDict[bytes, tuple] = OrderedDict()
         #: keys seen once -- snapshots are only recorded on the second
         #: sighting, so one-shot batches (BFS frontiers) never pay the
@@ -75,12 +93,16 @@ class BatchReplayMemo:
         self.misses = 0
 
     def key(self, parts: list[bytes]) -> bytes:
+        if not self.enabled:
+            return b""
         h = hashlib.blake2b(digest_size=16)
         for part in parts:
             h.update(part)
         return h.digest()
 
     def get(self, key: bytes):
+        if not self.enabled:
+            return None
         rec = self._memo.get(key)
         if rec is None:
             self.misses += 1
@@ -91,6 +113,8 @@ class BatchReplayMemo:
 
     def should_record(self, key: bytes) -> bool:
         """True on a key's second (or later) miss."""
+        if not self.enabled:
+            return False
         if key in self._seen:
             return True
         self._seen[key] = None
@@ -99,6 +123,8 @@ class BatchReplayMemo:
         return False
 
     def put(self, key: bytes, record: tuple) -> None:
+        if not self.enabled:
+            return
         self._memo[key] = record
         if len(self._memo) > self.capacity:
             self._memo.popitem(last=False)
@@ -142,6 +168,13 @@ class _RequestAccumulator:
         return addrs, writes
 
 
+def _resolve_chunk_size(chunk_size: int | None) -> int | None:
+    chunk = CHUNK_SIZE_DEFAULT if chunk_size is None else chunk_size
+    if chunk is not None and chunk < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk}")
+    return chunk
+
+
 class ConventionalMemoryPath:
     """Cache misses become burst-sized DRAM reads/writes."""
 
@@ -150,20 +183,38 @@ class ConventionalMemoryPath:
         cache: BaseCache,
         batched: bool | None = None,
         replay_capacity: int | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         self.cache = cache
         self.batched = BATCHED_DEFAULT if batched is None else batched
+        self.chunk_size = _resolve_chunk_size(chunk_size)
         capacity = (
             REPLAY_CAPACITY_DEFAULT if replay_capacity is None else replay_capacity
         )
-        self.memo = BatchReplayMemo(capacity) if capacity else None
+        self.memo = BatchReplayMemo(capacity) if capacity > 0 else None
         self._requests = _RequestAccumulator()
 
     def run(self, addrs: np.ndarray, rmw: bool) -> None:
-        """Process a batch of 8 B accesses (``rmw`` marks read-modify-write)."""
+        """Process a batch of 8 B accesses (``rmw`` marks read-modify-write).
+
+        With a finite ``chunk_size`` the batch is streamed in bounded
+        chunks: per-chunk temporaries (event arrays, memo records) stay
+        O(chunk), and the produced request stream and counters are
+        identical to whole-batch execution (the engine is exactly
+        equivalent to the scalar loop, which has no batch boundaries).
+        """
         addrs = np.asarray(addrs, dtype=np.int64)
-        if addrs.size == 0:
+        n = addrs.size
+        if n == 0:
             return
+        chunk = self.chunk_size
+        if chunk is None or n <= chunk:
+            self._run_batch(addrs, rmw)
+            return
+        for start in range(0, n, chunk):
+            self._run_batch(addrs[start : start + chunk], rmw)
+
+    def _run_batch(self, addrs: np.ndarray, rmw: bool) -> None:
         if not self.batched:
             self._run_scalar(addrs, rmw)
             return
@@ -314,15 +365,17 @@ class FineGrainedMemoryPath:
         locality_monitor: LocalityMonitor | None = None,
         batched: bool | None = None,
         replay_capacity: int | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         self.cache = cache
         self.mshr = mshr
         self.monitor = locality_monitor
         self.batched = BATCHED_DEFAULT if batched is None else batched
+        self.chunk_size = _resolve_chunk_size(chunk_size)
         capacity = (
             REPLAY_CAPACITY_DEFAULT if replay_capacity is None else replay_capacity
         )
-        self.memo = BatchReplayMemo(capacity) if capacity else None
+        self.memo = BatchReplayMemo(capacity) if capacity > 0 else None
         self.fim_ops: list[FimOp] = []
         #: conventional bursts issued while the locality monitor bypasses
         self._bypass = _RequestAccumulator()
@@ -331,10 +384,27 @@ class FineGrainedMemoryPath:
 
     # ------------------------------------------------------------------
     def run(self, addrs: np.ndarray, rmw: bool) -> None:
-        """Process a batch of 8 B accesses through cache + MSHR."""
+        """Process a batch of 8 B accesses through cache + MSHR.
+
+        With a finite ``chunk_size`` the batch is streamed in bounded
+        chunks (see :meth:`ConventionalMemoryPath.run`); counters, FIM-op
+        streams, and bypass bursts are identical to whole-batch
+        execution because the engine is exactly equivalent to the scalar
+        loop and all cross-chunk state (cache, MSHR, monitor, burst
+        coalescing watermarks) carries over.
+        """
         addrs = np.asarray(addrs, dtype=np.int64)
-        if addrs.size == 0:
+        n = addrs.size
+        if n == 0:
             return
+        chunk = self.chunk_size
+        if chunk is None or n <= chunk:
+            self._run_batch(addrs, rmw)
+            return
+        for start in range(0, n, chunk):
+            self._run_batch(addrs[start : start + chunk], rmw)
+
+    def _run_batch(self, addrs: np.ndarray, rmw: bool) -> None:
         if not self.batched:
             self._run_scalar(addrs, rmw)
             return

@@ -1,6 +1,18 @@
 """Experiment harness: named configurations and figure runners."""
 
-from repro.experiments.config import ExperimentScale, DEFAULT_SCALE
+from repro.experiments.config import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    PROFILES,
+    get_profile,
+)
 from repro.experiments.runner import run_system, speedup_table
 
-__all__ = ["ExperimentScale", "DEFAULT_SCALE", "run_system", "speedup_table"]
+__all__ = [
+    "ExperimentScale",
+    "DEFAULT_SCALE",
+    "PROFILES",
+    "get_profile",
+    "run_system",
+    "speedup_table",
+]

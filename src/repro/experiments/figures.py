@@ -33,16 +33,21 @@ BASELINE = "GraphDyns (Cache)"
 # ---------------------------------------------------------------------------
 # Fig. 3 -- motivational: useful vs unuseful traffic, non-tiling vs perfect
 # ---------------------------------------------------------------------------
-def figure_3(datasets: Sequence[str] = ("TW", "SW", "FS")) -> list[dict]:
+def figure_3(
+    datasets: Sequence[str] = ("TW", "SW", "FS"),
+    scale: ExperimentScale = DEFAULT_SCALE,
+) -> list[dict]:
     rows = []
     for dataset in datasets:
-        graph = load_dataset(dataset)
+        graph = load_dataset(dataset, scale.scale_shift)
         for mode in ("Non-Tiling", "Perfect Tiling"):
             system = make_system(
                 BASELINE,
-                onchip_bytes=DEFAULT_SCALE.baseline_cache_bytes,
-                cache_ways=DEFAULT_SCALE.cache_ways,
+                onchip_bytes=scale.baseline_cache_bytes,
+                cache_ways=scale.cache_ways,
                 tile_scale=1,
+                chunk_size=scale.chunk_size,
+                replay_capacity=scale.replay_capacity,
             )
             width = graph.num_vertices if mode == "Non-Tiling" else None
             result = system.run(graph, "BFS", tile_width=width)
@@ -83,16 +88,17 @@ def figure_10(
     datasets: Sequence[str] = REAL_WORLD,
     algorithms: Sequence[str] = ALGORITHM_ORDER,
     systems: Sequence[str] = SYSTEM_ORDER,
+    scale: ExperimentScale = DEFAULT_SCALE,
 ) -> list[dict]:
     rows = []
     speedups_by_system: dict[str, list[float]] = {s: [] for s in systems}
     for algorithm in algorithms:
         for dataset in datasets:
-            base = run_system(BASELINE, algorithm, dataset)
+            base = run_system(BASELINE, algorithm, dataset, scale=scale)
             for system in systems:
                 result = (
                     base if system == BASELINE
-                    else run_system(system, algorithm, dataset)
+                    else run_system(system, algorithm, dataset, scale=scale)
                 )
                 speedup = base.total_ns / result.total_ns
                 speedups_by_system[system].append(speedup)
@@ -146,11 +152,11 @@ def figure_11(
     speedups: dict[str, list[float]] = {d: [] for d in designs}
     for algorithm in algorithms:
         for dataset in datasets:
-            base = run_system(BASELINE, algorithm, dataset)
+            base = run_system(BASELINE, algorithm, dataset, scale=scale)
             for design in designs:
                 factory = CACHE_DESIGNS[design]
                 result = run_system(
-                    "Piccolo", algorithm, dataset,
+                    "Piccolo", algorithm, dataset, scale=scale,
                     cache_factory=lambda size, _f=factory: _f(size, scale),
                 )
                 speedup = base.total_ns / result.total_ns
@@ -181,12 +187,13 @@ def figure_11(
 def figure_12(
     datasets: Sequence[str] = REAL_WORLD,
     algorithms: Sequence[str] = ALGORITHM_ORDER,
+    scale: ExperimentScale = DEFAULT_SCALE,
 ) -> list[dict]:
     rows = []
     for algorithm in algorithms:
         for dataset in datasets:
-            base = run_system(BASELINE, algorithm, dataset)
-            picc = run_system("Piccolo", algorithm, dataset)
+            base = run_system(BASELINE, algorithm, dataset, scale=scale)
+            picc = run_system("Piccolo", algorithm, dataset, scale=scale)
             base_total = base.dram.read_bursts + base.dram.write_bursts
             for name, result in ((BASELINE, base), ("Piccolo", picc)):
                 rows.append(
@@ -211,12 +218,13 @@ def figure_13(
     datasets: Sequence[str] = REAL_WORLD,
     algorithms: Sequence[str] = ALGORITHM_ORDER,
     systems: Sequence[str] = (BASELINE, "PIM", "Piccolo"),
+    scale: ExperimentScale = DEFAULT_SCALE,
 ) -> list[dict]:
     rows = []
     for algorithm in algorithms:
         for dataset in datasets:
             for system in systems:
-                result = run_system(system, algorithm, dataset)
+                result = run_system(system, algorithm, dataset, scale=scale)
                 rows.append(
                     {
                         "algorithm": algorithm,
@@ -235,13 +243,14 @@ def figure_13(
 def figure_14(
     datasets: Sequence[str] = REAL_WORLD,
     algorithms: Sequence[str] = ALGORITHM_ORDER,
+    scale: ExperimentScale = DEFAULT_SCALE,
 ) -> list[dict]:
     rows = []
-    config = DEFAULT_SCALE.dram()
+    config = scale.dram()
     for algorithm in algorithms:
         for dataset in datasets:
-            base = run_system(BASELINE, algorithm, dataset)
-            picc = run_system("Piccolo", algorithm, dataset)
+            base = run_system(BASELINE, algorithm, dataset, scale=scale)
+            picc = run_system("Piccolo", algorithm, dataset, scale=scale)
             e_base = system_energy(base, config)
             e_picc = system_energy(picc, config, sequential_way_search=True)
             for name, bd in ((BASELINE, e_base), ("Piccolo", e_picc)):
@@ -272,7 +281,9 @@ MEMORY_TYPES = (
 
 
 def figure_15(
-    algorithms: Sequence[str] = ALGORITHM_ORDER, dataset: str = "SW"
+    algorithms: Sequence[str] = ALGORITHM_ORDER,
+    dataset: str = "SW",
+    scale: ExperimentScale = DEFAULT_SCALE,
 ) -> list[dict]:
     rows = []
     for algorithm in algorithms:
@@ -280,7 +291,8 @@ def figure_15(
             config = DRAMConfig(spec=DEVICES[device], channels=1, ranks=4)
             for system in (BASELINE, "Piccolo"):
                 result = run_system(
-                    system, algorithm, dataset, dram_config=config
+                    system, algorithm, dataset, scale=scale,
+                    dram_config=config,
                 )
                 rows.append(
                     {
@@ -297,7 +309,9 @@ def figure_15(
 # Fig. 16 -- channel/rank sensitivity (SW dataset)
 # ---------------------------------------------------------------------------
 def figure_16(
-    algorithms: Sequence[str] = ALGORITHM_ORDER, dataset: str = "SW"
+    algorithms: Sequence[str] = ALGORITHM_ORDER,
+    dataset: str = "SW",
+    scale: ExperimentScale = DEFAULT_SCALE,
 ) -> list[dict]:
     rows = []
     for algorithm in algorithms:
@@ -309,7 +323,8 @@ def figure_16(
                 )
                 for system in (BASELINE, "Piccolo"):
                     result = run_system(
-                        system, algorithm, dataset, dram_config=config
+                        system, algorithm, dataset, scale=scale,
+                        dram_config=config,
                     )
                     rows.append(
                         {
@@ -330,6 +345,7 @@ def figure_17(
     algorithms: Sequence[str] = ALGORITHM_ORDER,
     dataset: str = "SW",
     scales: Sequence[int] = (1, 2, 4, 8, 16),
+    scale: ExperimentScale = DEFAULT_SCALE,
 ) -> list[dict]:
     rows = []
     for algorithm in algorithms:
@@ -337,7 +353,8 @@ def figure_17(
         for scale_factor in scales:
             for system in (BASELINE, "Piccolo"):
                 result = run_system(
-                    system, algorithm, dataset, tile_scale=scale_factor
+                    system, algorithm, dataset, scale=scale,
+                    tile_scale=scale_factor,
                 )
                 if system == BASELINE and scale_factor == scales[0]:
                     base_ns = result.total_ns
@@ -360,14 +377,15 @@ def figure_18(
     systems: Sequence[str] = (
         "GraphDyns (SPM)", BASELINE, "NMP", "PIM", "Piccolo",
     ),
+    scale: ExperimentScale = DEFAULT_SCALE,
 ) -> list[dict]:
     rows = []
     for dataset in datasets:
-        base = run_system(BASELINE, "PR", dataset)
+        base = run_system(BASELINE, "PR", dataset, scale=scale)
         for system in systems:
             result = (
                 base if system == BASELINE
-                else run_system(system, "PR", dataset)
+                else run_system(system, "PR", dataset, scale=scale)
             )
             rows.append(
                 {
@@ -388,10 +406,10 @@ def figure_19a(
 ) -> list[dict]:
     rows = []
     for dataset in datasets:
-        graph = load_dataset(dataset)
+        graph = load_dataset(dataset, scale.scale_shift)
         iters = scale.iterations_for("PR")
-        vc_base = run_system(BASELINE, "PR", dataset)
-        vc_picc = run_system("Piccolo", "PR", dataset)
+        vc_base = run_system(BASELINE, "PR", dataset, scale=scale)
+        vc_picc = run_system("Piccolo", "PR", dataset, scale=scale)
         ec_base = ECConventionalSystem(
             onchip_bytes=scale.baseline_cache_bytes
         ).run(graph, "PR", max_iterations=iters)
@@ -399,6 +417,8 @@ def figure_19a(
             onchip_bytes=scale.piccolo_cache_bytes,
             mshr_entries=scale.mshr_entries,
             fg_tag_bits=scale.fg_tag_bits,
+            chunk_size=scale.chunk_size,
+            replay_capacity=scale.replay_capacity,
         ).run(graph, "PR", max_iterations=iters)
         for label, result in (
             ("VC Conven.", vc_base),
@@ -430,7 +450,9 @@ def figure_19b(num_rows: int = 1 << 16) -> list[dict]:
 # Fig. 20a -- enhanced designs for DDR4x4 and HBM
 # ---------------------------------------------------------------------------
 def figure_20a(
-    algorithms: Sequence[str] = ALGORITHM_ORDER, dataset: str = "SW"
+    algorithms: Sequence[str] = ALGORITHM_ORDER,
+    dataset: str = "SW",
+    scale: ExperimentScale = DEFAULT_SCALE,
 ) -> list[dict]:
     rows = []
     cases = (
@@ -441,9 +463,12 @@ def figure_20a(
         for label, device, enhancement in cases:
             base_cfg = DRAMConfig(spec=device, channels=1, ranks=4)
             enh_cfg = DRAMConfig(spec=device, channels=1, ranks=4, **enhancement)
-            base = run_system(BASELINE, algorithm, dataset, dram_config=base_cfg)
-            picc = run_system("Piccolo", algorithm, dataset, dram_config=base_cfg)
-            enh = run_system("Piccolo", algorithm, dataset, dram_config=enh_cfg)
+            base = run_system(BASELINE, algorithm, dataset, scale=scale,
+                              dram_config=base_cfg)
+            picc = run_system("Piccolo", algorithm, dataset, scale=scale,
+                              dram_config=base_cfg)
+            enh = run_system("Piccolo", algorithm, dataset, scale=scale,
+                             dram_config=enh_cfg)
             for system, result in (
                 (BASELINE, base), ("Piccolo", picc), ("Piccolo enhanced", enh),
             ):
@@ -461,12 +486,15 @@ def figure_20a(
 # ---------------------------------------------------------------------------
 # Fig. 20b -- prefetching disabled
 # ---------------------------------------------------------------------------
-def figure_20b(datasets: Sequence[str] = REAL_WORLD) -> list[dict]:
+def figure_20b(
+    datasets: Sequence[str] = REAL_WORLD,
+    scale: ExperimentScale = DEFAULT_SCALE,
+) -> list[dict]:
     rows = []
     for dataset in datasets:
-        with_pf = run_system("Piccolo", "PR", dataset)
+        with_pf = run_system("Piccolo", "PR", dataset, scale=scale)
         without = run_system(
-            "Piccolo", "PR", dataset,
+            "Piccolo", "PR", dataset, scale=scale,
             pipeline=PipelineConfig(prefetch=False),
         )
         rows.append(

@@ -6,7 +6,7 @@ from repro.accel.base import SystemResult
 from repro.accel.pipeline import PipelineConfig
 from repro.accel.systems import SYSTEMS, SYSTEM_ORDER, make_system
 from repro.dram.spec import DRAMConfig
-from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale, get_profile
 from repro.experiments.tuning import tile_scale_for
 from repro.graph.datasets import load_dataset
 from repro.utils.stats import geometric_mean
@@ -27,32 +27,49 @@ def run_system(
     system: str,
     algorithm: str,
     dataset: str,
-    scale: ExperimentScale = DEFAULT_SCALE,
+    scale: ExperimentScale | str = DEFAULT_SCALE,
     dram_config: DRAMConfig | None = None,
     pipeline: PipelineConfig | None = None,
     tile_scale: int | None = None,
     max_iterations: int | None = None,
     scale_shift: int | None = None,
+    chunk_size: int | None = None,
     **system_kwargs,
 ) -> SystemResult:
-    """Run one (system, algorithm, dataset) cell of the evaluation grid."""
+    """Run one (system, algorithm, dataset) cell of the evaluation grid.
+
+    ``scale`` selects the experiment profile, either as an
+    :class:`ExperimentScale` or by name (``"toy"`` / ``"mid"`` /
+    ``"paper"``); ``scale_shift`` and ``chunk_size`` override the
+    profile's dataset reduction and memory-path chunking per call.
+    """
+    scale = get_profile(scale)
     if system not in SYSTEMS:
         raise KeyError(f"unknown system {system!r}; available: {sorted(SYSTEMS)}")
-    graph = load_dataset(dataset, scale_shift)
+    shift = scale_shift if scale_shift is not None else scale.scale_shift
+    graph = load_dataset(dataset, shift)
     onchip = (
         scale.spm_bytes if system in _SPM_SYSTEMS
         else scale.piccolo_cache_bytes if system == "Piccolo"
         else scale.baseline_cache_bytes
     )
+    # The offline tuning table was swept at toy scale; other profiles
+    # fall back to the per-system defaults until swept.
+    tuned = (
+        tile_scale_for(system, algorithm, dataset)
+        if scale.name == "toy" else None
+    )
+    chunk = chunk_size if chunk_size is not None else scale.chunk_size
     kwargs: dict = dict(
         dram_config=dram_config,
         pipeline=pipeline,
         onchip_bytes=onchip,
         tile_scale=(
             tile_scale if tile_scale is not None
-            else tile_scale_for(system, algorithm, dataset)
-            or scale.tile_scales.get(system, 1)
+            else tuned or scale.tile_scales.get(system, 1)
         ),
+        chunk_size=chunk,
+        replay_capacity=scale.replay_capacity,
     )
     if system in ("Piccolo", "NMP"):
         kwargs["mshr_entries"] = scale.mshr_entries
@@ -68,7 +85,8 @@ def run_system(
     try:
         cache_key = (
             system, algorithm, dataset, dram_config, pipeline,
-            kwargs["tile_scale"], iters, scale_shift,
+            kwargs["tile_scale"], iters, shift, chunk,
+            scale.replay_capacity, scale.cache_ways,
             scale.piccolo_cache_bytes, scale.baseline_cache_bytes,
             scale.spm_bytes, scale.mshr_entries, scale.fg_tag_bits,
             tuple(sorted(system_kwargs.items())),

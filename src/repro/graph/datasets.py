@@ -31,9 +31,9 @@ that determine cache pressure match the paper (see DESIGN.md).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.graph.csr import CSRGraph
 from repro.graph import generators as gen
@@ -118,9 +118,86 @@ REAL_WORLD = ("UU", "TW", "SW", "FS", "PP")
 SYNTHETIC = ("WS26", "WS27", "KN25", "KN26", "KN27", "KN28")
 
 
-@lru_cache(maxsize=32)
+#: default byte budget for memoised graphs.  At toy scale every graph
+#: fits many times over (the old ``lru_cache(maxsize=32)`` behaviour);
+#: at mid/paper scale the budget is what keeps a sweep over several
+#: datasets from pinning gigabytes of edge arrays for the process
+#: lifetime.
+DATASET_CACHE_BUDGET_BYTES = 1 << 29  # 512 MB
+
+
+class DatasetCacheInfo(NamedTuple):
+    """``load_dataset.cache_info()`` result (lru_cache-compatible shape,
+    plus the byte accounting the budget evicts on)."""
+
+    hits: int
+    misses: int
+    budget_bytes: int
+    currsize: int
+    total_bytes: int
+
+
+class _DatasetCache:
+    """LRU graph cache evicting by total edge-array bytes, not count."""
+
+    def __init__(self, budget_bytes: int) -> None:
+        self.budget_bytes = budget_bytes
+        self._entries: OrderedDict[tuple, CSRGraph] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def graph_nbytes(graph: CSRGraph) -> int:
+        return graph.indptr.nbytes + graph.indices.nbytes + graph.weights.nbytes
+
+    def total_bytes(self) -> int:
+        return sum(self.graph_nbytes(g) for g in self._entries.values())
+
+    def get(self, key: tuple) -> CSRGraph | None:
+        graph = self._entries.get(key)
+        if graph is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return graph
+
+    def put(self, key: tuple, graph: CSRGraph) -> None:
+        self._entries[key] = graph
+        self._entries.move_to_end(key)
+        # Evict least-recently-used graphs until the budget holds; the
+        # newest entry always stays (a single over-budget graph is kept
+        # while in use rather than rebuilt on every call).
+        while len(self._entries) > 1 and self.total_bytes() > self.budget_bytes:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> DatasetCacheInfo:
+        return DatasetCacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            budget_bytes=self.budget_bytes,
+            currsize=len(self._entries),
+            total_bytes=self.total_bytes(),
+        )
+
+
+_CACHE = _DatasetCache(DATASET_CACHE_BUDGET_BYTES)
+
+
 def load_dataset(name: str, scale_shift: int | None = None) -> CSRGraph:
     """Build (and memoise) the scaled stand-in for a paper dataset.
+
+    Memoisation is byte-budgeted: built graphs are kept LRU up to
+    :data:`DATASET_CACHE_BUDGET_BYTES` of edge-array storage, so a
+    mid/paper-profile sweep cannot pin gigabytes for the process
+    lifetime (the old ``lru_cache(maxsize=32)`` did exactly that).
+    ``load_dataset.cache_clear()`` and ``load_dataset.cache_info()``
+    keep the ``functools.lru_cache`` test surface.
 
     Args:
         name: dataset key from :data:`DATASETS` (e.g. ``"TW"``).
@@ -137,4 +214,13 @@ def load_dataset(name: str, scale_shift: int | None = None) -> CSRGraph:
     shift = spec.scale_shift if scale_shift is None else scale_shift
     if shift < 0:
         raise ValueError("scale_shift must be >= 0")
-    return spec.build(shift)
+    key = (name, shift)
+    graph = _CACHE.get(key)
+    if graph is None:
+        graph = spec.build(shift)
+        _CACHE.put(key, graph)
+    return graph
+
+
+load_dataset.cache_clear = _CACHE.clear
+load_dataset.cache_info = _CACHE.info

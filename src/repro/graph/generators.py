@@ -62,8 +62,13 @@ def rmat(
     """RMAT / stochastic-Kronecker graph (power-law degree distribution).
 
     ``num_vertices`` is rounded up to the next power of two internally for
-    edge generation; edges landing on padding vertices are remapped by
-    modulo, which keeps the degree skew while honouring the requested size.
+    edge generation; edges landing on padding vertices (ids in
+    ``[num_vertices, 2**ceil(log2(num_vertices)))``) are remapped to a
+    uniform random valid id.  (An earlier implementation remapped by
+    modulo, which folded the whole padding range onto the low ids
+    ``[0, 2**ceil - num_vertices)`` and roughly doubled their expected
+    degree whenever ``num_vertices`` is not a power of two --
+    ``tests/test_generators.py`` pins the uniform behaviour.)
     """
     if num_vertices <= 0:
         raise ValueError("num_vertices must be positive")
@@ -86,8 +91,13 @@ def rmat(
         dst_bit = (r2 < p_hi).astype(np.int64)
         src = (src << 1) | src_bit
         dst = (dst << 1) | dst_bit
-    src %= num_vertices
-    dst %= num_vertices
+    for endpoint in (src, dst):
+        over = endpoint >= num_vertices
+        count = int(np.count_nonzero(over))
+        if count:
+            endpoint[over] = rng.integers(
+                0, num_vertices, size=count, dtype=np.int64
+            )
     graph = CSRGraph.from_edges(num_vertices, src, dst, name=name)
     return assign_random_weights(graph, seed=seed + 1)
 

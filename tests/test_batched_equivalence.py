@@ -239,6 +239,95 @@ def test_replay_memo_is_transparent(kind, addrs, seed):
     assert with_memo.memo.hits + with_memo.memo.misses == 3 * len(chunks)
 
 
+# ---------------------------------------------------------------------------
+# Chunked tile streaming: a finite chunk_size must be invisible in the
+# produced counters, fill/write-back sequences, and FIM-op streams --
+# including chunk sizes that don't divide the batch evenly, and across
+# repeated rounds where the replay memo kicks in.
+# ---------------------------------------------------------------------------
+CHUNK_SIZES = [1, 7, 64, 1 << 20]
+
+
+@pytest.mark.parametrize(
+    "kind", ["piccolo-lru", "conventional", "fig11-sectored", "fig11-amoeba"]
+)
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+@pytest.mark.parametrize("monitor", [False, True])
+@settings(max_examples=15, deadline=None)
+@given(addrs=addr_streams, rmw=rmw_flags)
+def test_chunked_fine_grained_path_matches_whole_tile(
+    kind, chunk_size, monitor, addrs, rmw
+):
+    mapper = make_mapper()
+
+    def build(chunk):
+        cache = CACHE_FACTORIES[kind]()
+        mshr = CollectionExtendedMSHR(mapper, num_entries=16, items_per_op=4)
+        mon = LocalityMonitor(window=8, threshold=0.5) if monitor else None
+        return FineGrainedMemoryPath(
+            cache, mshr, locality_monitor=mon, chunk_size=chunk
+        )
+
+    chunked = build(chunk_size)
+    whole = build(None)
+    stream = np.asarray(addrs, dtype=np.int64)
+    for _ in range(2):  # second round exercises memo + chunk interplay
+        chunked.run(stream, rmw)
+        whole.run(stream, rmw)
+    chunked.flush()
+    whole.flush()
+    assert drain_all(chunked) == drain_all(whole)
+    assert cache_signature(chunked.cache) == cache_signature(whole.cache)
+    assert vars(chunked.mshr.stats) == vars(whole.mshr.stats)
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+@settings(max_examples=15, deadline=None)
+@given(addrs=addr_streams, rmw=rmw_flags)
+def test_chunked_conventional_path_matches_whole_tile(chunk_size, addrs, rmw):
+    chunked = ConventionalMemoryPath(
+        ConventionalCache(1024, ways=2), chunk_size=chunk_size
+    )
+    whole = ConventionalMemoryPath(ConventionalCache(1024, ways=2))
+    stream = np.asarray(addrs, dtype=np.int64)
+    for _ in range(2):
+        chunked.run(stream, rmw)
+        whole.run(stream, rmw)
+    chunked.flush()
+    whole.flush()
+    a_c, w_c = chunked.drain()
+    a_w, w_w = whole.drain()
+    np.testing.assert_array_equal(a_c, a_w)
+    np.testing.assert_array_equal(w_c, w_w)
+    assert cache_signature(chunked.cache) == cache_signature(whole.cache)
+
+
+@pytest.mark.parametrize("chunk_size", [3, 50])
+def test_chunked_matches_scalar_loop_directly(chunk_size):
+    """Chunked *batched* execution against the *scalar* fallback: the
+    two orthogonal modes must still agree."""
+    mapper = make_mapper()
+    rng = np.random.default_rng(13)
+    stream = rng.integers(0, 1 << 12, 500).astype(np.int64) * 8
+
+    def build(batched, chunk):
+        cache = PiccoloCache(1024, ways=4, fg_tag_bits=4)
+        mshr = CollectionExtendedMSHR(mapper, num_entries=16, items_per_op=4)
+        return FineGrainedMemoryPath(
+            cache, mshr, batched=batched, chunk_size=chunk
+        )
+
+    chunked = build(True, chunk_size)
+    scalar = build(False, None)
+    chunked.run(stream, True)
+    scalar.run(stream, True)
+    chunked.flush()
+    scalar.flush()
+    assert drain_all(chunked) == drain_all(scalar)
+    assert cache_signature(chunked.cache) == cache_signature(scalar.cache)
+    assert vars(chunked.mshr.stats) == vars(scalar.mshr.stats)
+
+
 @settings(max_examples=40, deadline=None)
 @given(addrs=addr_streams, seed=chunk_seed)
 def test_locality_monitor_observe_many_matches_scalar(addrs, seed):

@@ -19,6 +19,22 @@ class TestParser:
         args = build_parser().parse_args(["microbench", "--engine"])
         assert args.engine
 
+    def test_figure_profile_flags_parse(self):
+        args = build_parser().parse_args(
+            ["figure", "fig10", "--profile", "mid", "--chunk-size", "1024"]
+        )
+        assert args.profile == "mid"
+        assert args.chunk_size == 1024
+
+    def test_figure_profile_defaults_to_toy(self):
+        args = build_parser().parse_args(["figure", "fig10"])
+        assert args.profile == "toy"
+        assert args.chunk_size is None
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig10", "--profile", "huge"])
+
 
 class TestListCommand:
     def test_lists_all_figures(self, capsys):
@@ -49,6 +65,25 @@ class TestFigureCommand:
             signature = inspect.signature(fn)
             for key in fast_kwargs:
                 assert key in signature.parameters, (name, key)
+
+
+class TestProfilesCommand:
+    def test_knob_table_printed(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        for column in ("toy", "mid", "paper"):
+            assert column in out
+        assert "piccolo_cache_bytes" in out
+        assert "4194304" in out  # the paper profile's 4 MB cache
+        assert "chunk_size" in out
+
+    def test_profile_note_for_scale_free_figures(self, capsys):
+        # fig9 (the FPGA microbench) has no scale dimension; a non-toy
+        # profile still runs but says it was ignored.
+        assert main(["figure", "fig9", "--profile", "mid"]) == 0
+        captured = capsys.readouterr()
+        assert "single-row" in captured.out
+        assert "does not take a scale profile" in captured.err
 
 
 class TestValidateCommand:

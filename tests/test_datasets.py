@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.graph import datasets
 from repro.graph.datasets import DATASETS, REAL_WORLD, SYNTHETIC, load_dataset
 
 
@@ -61,3 +62,64 @@ class TestScaledCharacteristics:
         load_dataset.cache_clear()
         b = load_dataset("TW")
         assert a.num_edges == b.num_edges
+
+
+class TestByteBudgetedCache:
+    """The memo cache evicts by total edge-array bytes, not entry count
+    (an lru_cache(32) pinned up to 32 full graphs for the process
+    lifetime, which blows memory at mid/paper scale)."""
+
+    @pytest.fixture
+    def tight_budget(self):
+        cache = datasets._CACHE
+        saved = cache.budget_bytes
+        load_dataset.cache_clear()
+        yield cache
+        cache.budget_bytes = saved
+        load_dataset.cache_clear()
+
+    def test_spec_default_and_explicit_shift_share_an_entry(self):
+        load_dataset.cache_clear()
+        spec_shift = DATASETS["UU"].scale_shift
+        assert load_dataset("UU") is load_dataset("UU", spec_shift)
+        assert load_dataset.cache_info().currsize == 1
+
+    def test_evicts_least_recently_used_by_bytes(self, tight_budget):
+        first = load_dataset("UU", 14)
+        # budget: the first graph alone fits, two don't
+        tight_budget.budget_bytes = int(
+            tight_budget.graph_nbytes(first) * 1.5
+        )
+        second = load_dataset("SW", 14)
+        assert load_dataset("SW", 14) is second  # newest stays
+        assert load_dataset("UU", 14) is not first  # LRU was evicted
+
+    def test_recency_protects_entries(self, tight_budget):
+        first = load_dataset("UU", 14)
+        load_dataset("SW", 14)
+        # budget exactly holds the two resident graphs; adding a third
+        # (small) one must evict the least recently used
+        tight_budget.budget_bytes = tight_budget.total_bytes()
+        assert load_dataset("UU", 14) is first  # touch: UU becomes MRU
+        load_dataset("UU", 15)  # evicts SW (LRU), not the touched UU
+        assert load_dataset("UU", 14) is first
+        assert load_dataset.cache_info().currsize == 2
+
+    def test_newest_entry_survives_an_over_budget_graph(self, tight_budget):
+        tight_budget.budget_bytes = 1  # nothing "fits"
+        graph = load_dataset("UU", 14)
+        assert load_dataset("UU", 14) is graph  # still memoised
+        assert load_dataset.cache_info().currsize == 1
+
+    def test_cache_info_surface(self, tight_budget):
+        info = load_dataset.cache_info()
+        assert info.currsize == 0 and info.total_bytes == 0
+        load_dataset("UU", 14)
+        load_dataset("UU", 14)
+        info = load_dataset.cache_info()
+        assert info.misses == 1 and info.hits == 1
+        assert info.currsize == 1
+        assert info.total_bytes == tight_budget.total_bytes() > 0
+        load_dataset.cache_clear()
+        info = load_dataset.cache_info()
+        assert info.hits == info.misses == info.currsize == 0

@@ -65,6 +65,45 @@ class TestRMAT:
             kronecker(31)
 
 
+class TestRMATPaddingRemap:
+    """Non-power-of-two sizes generate padding vertex ids that must be
+    remapped *uniformly*.  The old modulo remap folded the whole padding
+    range onto the low ids [0, 2**ceil - n), roughly doubling their
+    expected degree."""
+
+    def test_no_double_loading_of_low_ids(self):
+        # n=1536 rounds up to 2048: under modulo, ids [0, 512) would
+        # absorb all of [1536, 2048) and sit at ~2x the mean degree.
+        # With uniform probabilities the generated ids are uniform over
+        # [0, 2048), so any residual skew is pure remap artefact.
+        n, fold = 1536, 512
+        g = rmat(n, avg_degree=16.0, seed=11, a=0.25, b=0.25, c=0.25)
+        degrees = g.out_degrees()
+        low = degrees[:fold].mean()
+        rest = degrees[fold:].mean()
+        # modulo gave low/rest ~2.0; uniform remap stays near 1.0
+        assert low / rest < 1.15, (low, rest)
+
+    def test_remap_respects_vertex_range(self):
+        for n in (100, 1000, 1536, 5126):
+            g = rmat(n, avg_degree=4.0, seed=3)
+            assert g.indices.max() < n
+            assert g.num_vertices == n
+
+    def test_remap_is_deterministic(self):
+        a = rmat(1000, avg_degree=6.0, seed=9)
+        b = rmat(1000, avg_degree=6.0, seed=9)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_power_of_two_sizes_have_no_padding(self):
+        # Sanity: the remap path is a no-op for power-of-two sizes.
+        g = rmat(1024, avg_degree=8.0, seed=3)
+        assert g.num_vertices == 1024
+        assert g.indices.max() < 1024
+
+
 class TestWattsStrogatz:
     def test_degree_is_k(self):
         g = watts_strogatz(512, k=5, beta=0.0, seed=1)

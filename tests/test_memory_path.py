@@ -6,6 +6,7 @@ import pytest
 from repro.cache.conventional import ConventionalCache
 from repro.core.collection_mshr import CollectionExtendedMSHR
 from repro.core.memory_path import (
+    BatchReplayMemo,
     ConventionalMemoryPath,
     FineGrainedMemoryPath,
     LocalityMonitor,
@@ -85,6 +86,126 @@ class TestFineGrainedPath:
         ops, _, _ = path.drain()
         assert ops == []
         assert path.cache.stats.hits == 3
+
+
+class TestReplayMemoDisabled:
+    """``replay_capacity=0`` must disable the memo *entirely*: no
+    digests, no sighting tracking, no record-then-evict churn."""
+
+    def test_capacity_zero_short_circuits_every_method(self):
+        memo = BatchReplayMemo(0)
+        assert not memo.enabled
+        key = memo.key([b"cache-state", b"addrs"])
+        assert key == b""  # no blake2b work
+        assert memo.get(key) is None
+        assert memo.hits == 0 and memo.misses == 0  # get() didn't count
+        assert memo.should_record(key) is False
+        assert memo.should_record(key) is False  # still False on resight
+        memo.put(key, ("record",))
+        assert len(memo._memo) == 0
+        assert len(memo._seen) == 0
+
+    def test_enabled_memo_still_tracks(self):
+        memo = BatchReplayMemo(4)
+        assert memo.enabled
+        key = memo.key([b"x"])
+        assert memo.get(key) is None and memo.misses == 1
+        assert memo.should_record(key) is False  # first sighting
+        assert memo.should_record(key) is True   # second sighting
+        memo.put(key, ("record",))
+        assert memo.get(key) == ("record",) and memo.hits == 1
+
+    def test_paths_with_zero_capacity_have_no_memo(self, mapper):
+        conv = ConventionalMemoryPath(
+            ConventionalCache(1024, ways=2), replay_capacity=0
+        )
+        assert conv.memo is None
+        fine = FineGrainedMemoryPath(
+            PiccoloCache(1024, ways=2, fg_tag_bits=4),
+            CollectionExtendedMSHR(mapper, num_entries=16),
+            replay_capacity=0,
+        )
+        assert fine.memo is None
+
+    def test_zero_capacity_path_never_digests(self, mapper):
+        """With the memo off, run() must not even ask the cache for a
+        state digest (that is the whole cost being disabled)."""
+
+        class CountingCache(PiccoloCache):
+            digest_calls = 0
+
+            def state_digest(self):
+                type(self).digest_calls += 1
+                return super().state_digest()
+
+        cache = CountingCache(1024, ways=2, fg_tag_bits=4)
+        path = FineGrainedMemoryPath(
+            cache,
+            CollectionExtendedMSHR(mapper, num_entries=16),
+            replay_capacity=0,
+        )
+        path.run(np.arange(32, dtype=np.int64) * 8, rmw=True)
+        assert CountingCache.digest_calls == 0
+
+
+class TestChunkedStreaming:
+    def test_chunk_size_validation(self, mapper):
+        with pytest.raises(ValueError):
+            ConventionalMemoryPath(
+                ConventionalCache(1024, ways=2), chunk_size=0
+            )
+        with pytest.raises(ValueError):
+            FineGrainedMemoryPath(
+                PiccoloCache(1024, ways=2, fg_tag_bits=4),
+                CollectionExtendedMSHR(mapper, num_entries=16),
+                chunk_size=-1,
+            )
+
+    def test_chunked_requests_identical(self, mapper):
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 1 << 12, 400).astype(np.int64) * 8
+
+        def run(chunk):
+            path = FineGrainedMemoryPath(
+                PiccoloCache(1024, ways=2, fg_tag_bits=4),
+                CollectionExtendedMSHR(mapper, num_entries=16),
+                chunk_size=chunk,
+            )
+            path.run(stream, rmw=True)
+            path.flush()
+            ops, addrs, writes = path.drain()
+            return ops, addrs.tolist(), writes.tolist()
+
+        assert run(None) == run(64) == run(33)
+
+    def test_chunked_batch_temporaries_stay_bounded(self, mapper):
+        """Peak allocation during a hit-heavy run must scale with the
+        chunk, not the tile: the whole point of chunked streaming."""
+        import tracemalloc
+
+        # 8 resident words: everything after the first pass hits, so
+        # the measured peak is the engine's per-batch temporaries.
+        stream = np.tile(np.arange(8, dtype=np.int64) * 8, 32768)
+
+        def peak(chunk):
+            path = FineGrainedMemoryPath(
+                PiccoloCache(1024, ways=2, fg_tag_bits=4),
+                CollectionExtendedMSHR(mapper, num_entries=16),
+                replay_capacity=0,  # measure the engine, not the memo
+                chunk_size=chunk,
+            )
+            tracemalloc.start()
+            tracemalloc.reset_peak()
+            path.run(stream, rmw=False)
+            _, peak_bytes = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak_bytes
+
+        whole = peak(None)
+        chunked = peak(1024)
+        # whole-tile holds O(256k)-element temporaries; chunked holds
+        # O(1k).  Require a decisive gap, not an exact model.
+        assert chunked < whole / 10, (whole, chunked)
 
 
 class TestLocalityMonitor:

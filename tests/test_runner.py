@@ -1,9 +1,16 @@
 """Tests for the experiment runner and figure helpers (fast subsets)."""
 
+import dataclasses
+
 import pytest
 
 from repro.accel.base import SystemResult
-from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.config import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    PROFILES,
+    get_profile,
+)
 from repro.experiments.runner import (
     clear_result_cache,
     geomean_speedups,
@@ -91,6 +98,72 @@ class TestExperimentScale:
     def test_dram_overrides(self):
         config = DEFAULT_SCALE.dram(ranks=2)
         assert config.ranks == 2
+
+
+class TestScaleProfiles:
+    def test_registry_names(self):
+        assert set(PROFILES) == {"toy", "mid", "paper"}
+        for name, profile in PROFILES.items():
+            assert profile.name == name
+
+    def test_toy_profile_is_the_default_scale(self):
+        # The profile refactor must be a pure refactor at toy scale.
+        assert PROFILES["toy"] == DEFAULT_SCALE == ExperimentScale()
+
+    def test_paper_profile_matches_paper_capacities(self):
+        paper = PROFILES["paper"]
+        assert paper.piccolo_cache_bytes == 4 * 1024 * 1024
+        assert paper.spm_bytes == 4_718_592  # 4.5 MB
+        assert paper.mshr_entries == 4096
+        assert paper.fg_tag_bits == 8
+        assert paper.chunk_size is not None  # paper scale must chunk
+        assert paper.replay_capacity == 0
+
+    def test_get_profile_resolves_names_and_passthrough(self):
+        assert get_profile("mid") is PROFILES["mid"]
+        custom = ExperimentScale(name="custom", scale_shift=14)
+        assert get_profile(custom) is custom
+        with pytest.raises(KeyError, match="unknown scale profile"):
+            get_profile("huge")
+
+    def test_describe_is_flat(self):
+        for profile in PROFILES.values():
+            knobs = profile.describe()
+            assert knobs["name"] == profile.name
+            assert "max_iterations" not in knobs
+            assert all(not isinstance(v, dict) for v in knobs.values())
+
+    def test_run_system_accepts_profile_name(self):
+        clear_result_cache()
+        by_name = run_system("Piccolo", "PR", "UU", scale="toy",
+                             max_iterations=1)
+        by_default = run_system("Piccolo", "PR", "UU", max_iterations=1)
+        assert by_name is by_default  # identical cell -> memoised hit
+
+    def test_chunked_run_is_bit_identical(self):
+        clear_result_cache()
+        whole = run_system("Piccolo", "PR", "UU", max_iterations=1)
+        chunked = run_system("Piccolo", "PR", "UU", max_iterations=1,
+                             chunk_size=64)
+        assert whole is not chunked
+        assert whole.total_ns == chunked.total_ns
+        assert whole.cache_hits == chunked.cache_hits
+        assert whole.cache_misses == chunked.cache_misses
+        assert whole.dram.read_bursts == chunked.dram.read_bursts
+        assert whole.dram.write_bursts == chunked.dram.write_bursts
+        assert whole.mshr_ops == chunked.mshr_ops
+
+    def test_custom_profile_scales_graph_and_capacities(self):
+        clear_result_cache()
+        tiny = dataclasses.replace(
+            PROFILES["toy"], name="tiny", scale_shift=14,
+            piccolo_cache_bytes=512, cache_ways=4, chunk_size=128,
+        )
+        result = run_system("Piccolo", "PR", "UU", scale=tiny,
+                            max_iterations=1)
+        default = run_system("Piccolo", "PR", "UU", max_iterations=1)
+        assert result.onchip_bytes == 512
+        assert result.tile_width < default.tile_width
 
 
 class TestFigureHelpers:

@@ -33,6 +33,13 @@ without checking out the seed commit, record a full
 ``--only PREFIX`` restricts the run to cells whose name starts with
 ``PREFIX`` (e.g. ``--only fig11/``).
 
+``--profile mid|paper`` times that scale profile's cells
+(``scale/<profile>/...``) instead of the toy grid, recording the
+mid/paper-scale trajectory: wall-clock per cell plus the process peak
+RSS.  These cells have no scalar baseline (the seed could not run them
+at all); their value is the recorded trend itself.  ``--chunk-size``
+overrides the profile's memory-path tile chunking for the run.
+
 Workload notes: BFS runs to frontier exhaustion; PR runs 12 identical
 power iterations (the figure harness caps PR at 3 purely for seed
 wall-clock reasons -- the paper itself runs up to 40, so a deeper run is
@@ -100,6 +107,24 @@ QUICK_CELLS = [
     ("quick/GraphDyns-Cache/PR3/TW", "GraphDyns (Cache)", "PR", "TW", 3, {}),
 ]
 
+#: scale-profile cells (``--profile``): the mid/paper trajectory.  The
+#: ``_scale`` kwarg routes the profile into ``run_system``; iteration
+#: caps come from the profile itself (PR x3).
+PROFILE_CELLS = {
+    "mid": [
+        ("scale/mid/Piccolo/PR/SW", "Piccolo", "PR", "SW", None,
+         {"_scale": "mid"}),
+        ("scale/mid/GraphDyns-Cache/PR/SW", "GraphDyns (Cache)", "PR", "SW",
+         None, {"_scale": "mid"}),
+        ("scale/mid/Piccolo/PR/UU", "Piccolo", "PR", "UU", None,
+         {"_scale": "mid"}),
+    ],
+    "paper": [
+        ("scale/paper/Piccolo/PR/SW", "Piccolo", "PR", "SW", None,
+         {"_scale": "paper"}),
+    ],
+}
+
 
 def _normalise(cells):
     out = []
@@ -130,6 +155,9 @@ def time_cell(system, algorithm, dataset, max_iterations, kwargs, repeats):
     best = math.inf
     extra = dict(kwargs)
     system = extra.pop("_system", system)
+    scale = extra.pop("_scale", None)
+    if scale is not None:
+        extra["scale"] = scale
     for _ in range(repeats):
         clear_result_cache()
         start = time.perf_counter()
@@ -209,11 +237,34 @@ def main(argv=None) -> int:
         help="restrict to cells whose name starts with one of the "
         "comma-separated prefixes",
     )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        choices=sorted(PROFILE_CELLS),
+        help="time this scale profile's cells instead of the toy grid",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the profile's memory-path tile chunking",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+    if args.profile and args.scalar_baseline:
+        parser.error("--profile cells have no scalar baseline to record")
 
-    cells = _normalise(QUICK_CELLS if args.quick else FULL_CELLS)
+    if args.profile:
+        cells = _normalise(PROFILE_CELLS[args.profile])
+    else:
+        cells = _normalise(QUICK_CELLS if args.quick else FULL_CELLS)
+    if args.chunk_size is not None:
+        cells = [
+            (name, row, alg, ds, iters, {**kw, "chunk_size": args.chunk_size})
+            for name, row, alg, ds, iters, kw in cells
+        ]
     if args.only:
         prefixes = tuple(p for p in args.only.split(",") if p)
         cells = [c for c in cells if c[0].startswith(prefixes)]
@@ -222,7 +273,9 @@ def main(argv=None) -> int:
     mode = "scalar" if args.scalar_baseline else "batched"
     if args.scalar_baseline:
         memory_path.BATCHED_DEFAULT = False
-    label = args.label or mode
+    label = args.label or (
+        f"{mode}-{args.profile}" if args.profile else mode
+    )
 
     print(f"perf_report: mode={mode} repeats={args.repeats} cells={len(cells)}")
     times = run_suite(cells, args.repeats)
@@ -236,6 +289,18 @@ def main(argv=None) -> int:
         "quick": bool(args.quick),
         "times": times,
     }
+    if args.profile:
+        import resource
+
+        point["profile"] = args.profile
+        # ru_maxrss is the process high-water mark (KB on Linux): an
+        # upper bound on what the chunked paths actually held.
+        point["peak_rss_mb"] = round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+        )
+        print(f"peak RSS: {point['peak_rss_mb']} MB")
+    if args.chunk_size is not None:
+        point["chunk_size"] = args.chunk_size
 
     shared = [c for c in cells if c[0] in base_times and c[0] in times]
     if mode in BASELINE_MODES:

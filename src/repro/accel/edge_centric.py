@@ -41,6 +41,7 @@ class _ECSystem(AcceleratorSystem):
         layout: MemoryLayout | None = None,
         chunk_size: int | None = None,
         replay_capacity: int | None = None,
+        stream_phase: bool | None = None,
     ) -> None:
         super().__init__(dram_config, pipeline)
         self.onchip_bytes = onchip_bytes
@@ -50,6 +51,9 @@ class _ECSystem(AcceleratorSystem):
         #: defaults), mirroring the vertex-centric systems
         self.chunk_size = chunk_size
         self.replay_capacity = replay_capacity
+        #: chunk-streamed DRAM-phase evaluation (None = auto: on when
+        #: tile chunking is on), mirroring the vertex-centric systems
+        self.stream_phase = stream_phase
 
     def tile_widths(self, graph: CSRGraph) -> tuple[int, int]:
         """(source, destination) tile widths in vertices."""
@@ -89,6 +93,9 @@ class _ECSystem(AcceleratorSystem):
 
     def _charge_phase(self, result, compute_ns, **phase_kwargs) -> None:
         phase = self.dram.phase(**phase_kwargs)
+        self._merge_phase(result, compute_ns, phase)
+
+    def _merge_phase(self, result, compute_ns, phase) -> None:
         result.compute_ns += compute_ns
         result.memory_ns += phase.time_ns
         result.total_ns += max(compute_ns, phase.time_ns)
@@ -173,21 +180,52 @@ class ECPiccoloSystem(_ECSystem):
             chunk_size=self.chunk_size,
         )
 
+    def _charge_random_phase(
+        self, result, compute_ns, run_fn, **stream_kwargs
+    ) -> None:
+        """Run ``run_fn`` (memory-path accesses) and charge the phase,
+        chunk-streaming the request stream into a PhaseAccumulator when
+        phase streaming is on."""
+        if self._phase_streaming():
+            acc = self.dram.open_phase()
+            self.path.phase_sink = acc
+            try:
+                run_fn()
+            finally:
+                self.path.phase_sink = None
+            fim_ops, addrs, writes = self.path.drain()
+            if len(fim_ops) or addrs.size:
+                acc.add(
+                    addrs=addrs if addrs.size else None,
+                    is_write=writes if addrs.size else None,
+                    fim_ops=fim_ops if len(fim_ops) else None,
+                )
+            self._merge_phase(result, compute_ns, acc.close(**stream_kwargs))
+            return
+        run_fn()
+        fim_ops, addrs, writes = self.path.drain()
+        self._charge_phase(
+            result, compute_ns,
+            addrs=addrs if addrs.size else None,
+            is_write=writes if addrs.size else None,
+            fim_ops=fim_ops,
+            **stream_kwargs,
+        )
+
     def _run_iteration(self, trace, result) -> None:
         layout = self.layout
         for block in trace.blocks:
             stream_rd = block.num_edges * EDGE_BYTES
             result.stream_read_bytes += stream_rd
-            self.path.run(layout.vprop_addrs(block.edge_src), rmw=False)
-            self.path.run(layout.vtemp_addrs(block.edge_dst), rmw=True)
-            fim_ops, addrs, writes = self.path.drain()
             compute = self.pipeline.compute_ns(block.num_edges, 0)
             result.edges_processed += block.num_edges
-            self._charge_phase(
-                result, compute,
-                addrs=addrs if addrs.size else None,
-                is_write=writes if addrs.size else None,
-                fim_ops=fim_ops,
+
+            def run_block(block=block):
+                self.path.run(layout.vprop_addrs(block.edge_src), rmw=False)
+                self.path.run(layout.vtemp_addrs(block.edge_dst), rmw=True)
+
+            self._charge_random_phase(
+                result, compute, run_block,
                 stream_read_bytes=self.effective_stream_bytes(stream_rd),
             )
         for apply_dst in trace.apply_dst:
@@ -197,15 +235,14 @@ class ECPiccoloSystem(_ECSystem):
             stream_wr = apply_dst.size * PROP_BYTES
             result.stream_read_bytes += stream_rd
             result.stream_write_bytes += stream_wr
-            self.path.run(layout.vtemp_addrs(apply_dst), rmw=True)
-            fim_ops, addrs, writes = self.path.drain()
             compute = self.pipeline.compute_ns(0, int(apply_dst.size))
             result.vertex_applies += int(apply_dst.size)
-            self._charge_phase(
-                result, compute,
-                addrs=addrs if addrs.size else None,
-                is_write=writes if addrs.size else None,
-                fim_ops=fim_ops,
+
+            def run_apply(apply_dst=apply_dst):
+                self.path.run(layout.vtemp_addrs(apply_dst), rmw=True)
+
+            self._charge_random_phase(
+                result, compute, run_apply,
                 stream_read_bytes=self.effective_stream_bytes(stream_rd),
                 stream_write_bytes=stream_wr,
             )

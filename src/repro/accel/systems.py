@@ -52,6 +52,7 @@ class _VCMSystem(AcceleratorSystem):
         layout: MemoryLayout | None = None,
         chunk_size: int | None = None,
         replay_capacity: int | None = None,
+        stream_phase: bool | None = None,
     ) -> None:
         super().__init__(dram_config, pipeline)
         if onchip_bytes is not None:
@@ -65,6 +66,12 @@ class _VCMSystem(AcceleratorSystem):
         #: path, so they simply ignore them.
         self.chunk_size = chunk_size
         self.replay_capacity = replay_capacity
+        #: chunk-streamed DRAM-phase evaluation: each processed memory-
+        #: path chunk drains into a PhaseAccumulator instead of piling
+        #: up whole-tile request arrays/FIM batches.  None = auto
+        #: (enabled whenever tile chunking is on); only systems with a
+        #: cached random-access path stream.
+        self.stream_phase = stream_phase
 
     # -- hooks ----------------------------------------------------------
     def choose_tile_width(self, graph: CSRGraph) -> int:
@@ -85,6 +92,21 @@ class _VCMSystem(AcceleratorSystem):
 
     def finish(self, result: SystemResult) -> None:
         """Hook: final write-back of on-chip dirty state."""
+
+    # -- chunk-streamed phase evaluation ---------------------------------
+    # (_phase_path / _phase_streaming live on AcceleratorSystem)
+    def _run_random_ids(self, ids: np.ndarray, rmw: bool) -> None:
+        """Feed vertex ids through the path, materialising the address
+        array per chunk (O(chunk) instead of O(tile) temporaries).  The
+        outer split lands on the same chunk boundaries the path would
+        use internally, so the produced streams are identical."""
+        path = self._phase_path()
+        chunk = path.chunk_size
+        if chunk is None or ids.size <= chunk:
+            path.run(self.layout.vtemp_addrs(ids), rmw=rmw)
+            return
+        for lo in range(0, ids.size, chunk):
+            path.run(self.layout.vtemp_addrs(ids[lo:lo + chunk]), rmw=rmw)
 
     # -- traffic accounting ----------------------------------------------
     def stream_bytes_for_tile(
@@ -115,7 +137,7 @@ class _VCMSystem(AcceleratorSystem):
             tile_width if tile_width is not None
             else self.choose_tile_width(graph)
         )
-        engine = VertexCentricEngine(spec, width)
+        engine = VertexCentricEngine(spec, width, edge_chunk=self.chunk_size)
         result = SystemResult(
             system=self.name,
             algorithm=algorithm,
@@ -145,12 +167,30 @@ class _VCMSystem(AcceleratorSystem):
             stream_rd, stream_wr = self.stream_bytes_for_tile(tile, n_active)
             result.stream_read_bytes += stream_rd
             result.stream_write_bytes += stream_wr
-            phase_kwargs = self.random_access_phase(tile, result)
-            phase = self.dram.phase(
-                stream_read_bytes=self.effective_stream_bytes(stream_rd),
-                stream_write_bytes=stream_wr,
-                **phase_kwargs,
-            )
+            if self._phase_streaming():
+                # chunk-streamed: the memory path drains each processed
+                # chunk into the accumulator, so DRAM-phase temporaries
+                # stay O(chunk) like the tile stream itself
+                acc = self.dram.open_phase()
+                path = self._phase_path()
+                path.phase_sink = acc
+                try:
+                    tail_kwargs = self.random_access_phase(tile, result)
+                finally:
+                    path.phase_sink = None
+                if tail_kwargs:
+                    acc.add(**tail_kwargs)
+                phase = acc.close(
+                    stream_read_bytes=self.effective_stream_bytes(stream_rd),
+                    stream_write_bytes=stream_wr,
+                )
+            else:
+                phase_kwargs = self.random_access_phase(tile, result)
+                phase = self.dram.phase(
+                    stream_read_bytes=self.effective_stream_bytes(stream_rd),
+                    stream_write_bytes=stream_wr,
+                    **phase_kwargs,
+                )
             compute = self.pipeline.compute_ns_for_tile(
                 tile.edge_dst, int(tile.apply_dst.size)
             )
@@ -258,10 +298,9 @@ class GraphDynsCacheSystem(_VCMSystem):
         )
 
     def random_access_phase(self, tile, result):
-        layout = self.layout
-        self.path.run(layout.vtemp_addrs(tile.edge_dst), rmw=True)
+        self._run_random_ids(tile.edge_dst, rmw=True)
         if tile.apply_dst.size:
-            self.path.run(layout.vtemp_addrs(tile.apply_dst), rmw=True)
+            self._run_random_ids(tile.apply_dst, rmw=True)
         addrs, writes = self.path.drain()
         return {"addrs": addrs, "is_write": writes}
 
@@ -342,10 +381,9 @@ class _FineGrainedSystem(_VCMSystem):
         )
 
     def random_access_phase(self, tile, result):
-        layout = self.layout
-        self.path.run(layout.vtemp_addrs(tile.edge_dst), rmw=True)
+        self._run_random_ids(tile.edge_dst, rmw=True)
         if tile.apply_dst.size:
-            self.path.run(layout.vtemp_addrs(tile.apply_dst), rmw=True)
+            self._run_random_ids(tile.apply_dst, rmw=True)
         fim_ops, addrs, writes = self.path.drain()
         return {"addrs": addrs, "is_write": writes, "fim_ops": fim_ops}
 

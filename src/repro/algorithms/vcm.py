@@ -140,15 +140,30 @@ class VertexCentricEngine:
             tiling (a single tile spanning all vertices).
     """
 
-    def __init__(self, spec: AlgorithmSpec, tile_width: int | None = None) -> None:
+    def __init__(
+        self,
+        spec: AlgorithmSpec,
+        tile_width: int | None = None,
+        edge_chunk: int | None = None,
+    ) -> None:
+        if edge_chunk is not None and edge_chunk < 1:
+            raise ValueError("edge_chunk must be >= 1")
         self.spec = spec
         self.graph = spec.graph
         width = tile_width if tile_width else self.graph.num_vertices
-        self.tiled = TiledCSR(self.graph, max(1, width))
+        self.tiled = TiledCSR(
+            self.graph, max(1, width), with_weights=spec.uses_weights
+        )
         self.prop = spec.init_prop.copy()
         self.active_mask = np.zeros(self.graph.num_vertices, dtype=bool)
         self.active_mask[spec.init_active] = True
         self.iteration = 0
+        #: process/reduce over at most this many edges at a time, keeping
+        #: per-edge float temporaries O(chunk) (paper-scale profiles);
+        #: identical results -- ufunc.at applies updates in element order
+        #: regardless of the split, and every spec's ``process`` is
+        #: elementwise.  None = whole tile.
+        self.edge_chunk = edge_chunk
         self._reduce_ufunc, self._identity = REDUCE_OPS[spec.reduce_name]
 
     @property
@@ -183,14 +198,18 @@ class VertexCentricEngine:
                 )
 
             touched = np.unique(e_dst) if e_dst.size else e_dst
+            vtemp = np.full(tile.width, self._identity, dtype=np.float64)
             if e_src.size:
-                contributions = spec.process(
-                    e_w.astype(np.float64), prop_old[e_src], e_src
-                )
-                vtemp = np.full(tile.width, self._identity, dtype=np.float64)
-                self._reduce_ufunc.at(vtemp, e_dst - tile.dst_lo, contributions)
-            else:
-                vtemp = np.full(tile.width, self._identity, dtype=np.float64)
+                chunk = self.edge_chunk or e_src.size
+                for lo in range(0, e_src.size, chunk):
+                    sl = slice(lo, lo + chunk)
+                    contributions = spec.process(
+                        e_w[sl].astype(np.float64), prop_old[e_src[sl]],
+                        e_src[sl],
+                    )
+                    self._reduce_ufunc.at(
+                        vtemp, e_dst[sl] - tile.dst_lo, contributions
+                    )
 
             if all_active:
                 apply_dst = np.arange(tile.dst_lo, tile.dst_hi, dtype=np.int64)

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dram.address import AddressMapper
-from repro.dram.system import FimOp
+from repro.dram.fim_batch import FimOp, FimOpBatch
 from repro.utils.units import log2_exact
 
 
@@ -120,20 +120,11 @@ class CollectionExtendedMSHR:
 
     def _drain_entry(self, entry: _Entry) -> list[FimOp]:
         ops: list[FimOp] = []
-        if entry.ga_offsets:
-            ops.append(self._make_op(entry, len(entry.ga_offsets), scatter=False))
-            if len(entry.ga_offsets) >= self.items_per_op:
-                self.stats.gathers_full += 1
-            else:
-                self.stats.gathers_partial += 1
-            entry.ga_offsets.clear()
-        if entry.sc_offsets:
-            ops.append(self._make_op(entry, len(entry.sc_offsets), scatter=True))
-            if len(entry.sc_offsets) >= self.items_per_op:
-                self.stats.scatters_full += 1
-            else:
-                self.stats.scatters_partial += 1
-            entry.sc_offsets.clear()
+
+        def emit(channel, rank, bank, row, items, is_scatter, rank_level):
+            ops.append(self._make_op(entry, items, scatter=is_scatter))
+
+        self._drain_entry_into(entry, emit)
         return ops
 
     def _make_op(self, entry: _Entry, items: int, scatter: bool) -> FimOp:
@@ -179,19 +170,22 @@ class CollectionExtendedMSHR:
         return ops
 
     # ------------------------------------------------------------------
-    def add_batch(self, addrs: np.ndarray, is_wb: np.ndarray) -> list[FimOp]:
+    def add_batch(self, addrs: np.ndarray, is_wb: np.ndarray) -> FimOpBatch:
         """Register a whole fill/write-back event stream at once.
 
         Behaviourally identical to calling :meth:`add_read` /
         :meth:`add_write` per event in order (the batched-equivalence
         suite enforces it); the address decode -- the scalar path's
-        dominant cost -- is done in one vectorised pass, and per-request
+        dominant cost -- is done in one vectorised pass, per-request
         overhead collapses into a single tight loop over precomputed
-        row keys and in-row word offsets.
+        row keys and in-row word offsets, and the issued operations are
+        emitted straight into an array-backed :class:`FimOpBatch`
+        (structure-of-arrays) instead of a Python object list.
         """
+        ops = FimOpBatch()
         addrs = np.asarray(addrs, dtype=np.int64)
         if addrs.size == 0:
-            return []
+            return ops
         _, _, _, _, row_key, word = self.mapper.decode_fim_many(addrs)
         slots = self._slots
         slot_mask = self.num_entries - 1
@@ -199,7 +193,8 @@ class CollectionExtendedMSHR:
         total_banks = self._total_banks
         banks_per_rank = self.mapper.config.spec.banks_per_rank
         ranks = self.mapper.config.ranks
-        ops: list[FimOp] = []
+        rank_level = self.rank_level
+        emit = ops.append
         forwarded = merged_r = merged_w = 0
         gathers_full = scatters_full = conflicts = 0
 
@@ -212,7 +207,7 @@ class CollectionExtendedMSHR:
             if entry is None or entry.row_key != rk:
                 if entry is not None:
                     conflicts += 1
-                    ops.extend(self._drain_entry(entry))
+                    self._drain_entry_into(entry, emit)
                 # recover the location from the row key (rare path)
                 gb = rk % total_banks
                 chra = gb // banks_per_rank
@@ -231,7 +226,10 @@ class CollectionExtendedMSHR:
                     continue
                 sc.add(wd)
                 if len(sc) >= items_per_op:
-                    ops.append(self._make_op(entry, len(sc), scatter=True))
+                    emit(
+                        entry.channel, entry.rank, entry.bank, entry.row,
+                        len(sc), True, rank_level,
+                    )
                     scatters_full += 1
                     sc.clear()
             else:
@@ -245,7 +243,10 @@ class CollectionExtendedMSHR:
                     continue
                 ga.add(wd)
                 if len(ga) >= items_per_op:
-                    ops.append(self._make_op(entry, len(ga), scatter=False))
+                    emit(
+                        entry.channel, entry.rank, entry.bank, entry.row,
+                        len(ga), False, rank_level,
+                    )
                     gathers_full += 1
                     ga.clear()
 
@@ -258,12 +259,36 @@ class CollectionExtendedMSHR:
         stats.conflict_evictions += conflicts
         return ops
 
-    def flush(self) -> list[FimOp]:
+    def _drain_entry_into(self, entry: _Entry, emit) -> None:
+        """:meth:`_drain_entry`, emitting into a FimOpBatch appender."""
+        if entry.ga_offsets:
+            emit(
+                entry.channel, entry.rank, entry.bank, entry.row,
+                len(entry.ga_offsets), False, self.rank_level,
+            )
+            if len(entry.ga_offsets) >= self.items_per_op:
+                self.stats.gathers_full += 1
+            else:
+                self.stats.gathers_partial += 1
+            entry.ga_offsets.clear()
+        if entry.sc_offsets:
+            emit(
+                entry.channel, entry.rank, entry.bank, entry.row,
+                len(entry.sc_offsets), True, self.rank_level,
+            )
+            if len(entry.sc_offsets) >= self.items_per_op:
+                self.stats.scatters_full += 1
+            else:
+                self.stats.scatters_partial += 1
+            entry.sc_offsets.clear()
+
+    def flush(self) -> FimOpBatch:
         """Drain every pending entry (end of iteration / run)."""
-        ops: list[FimOp] = []
+        ops = FimOpBatch()
+        emit = ops.append
         for i, entry in enumerate(self._slots):
             if entry is not None:
-                ops.extend(self._drain_entry(entry))
+                self._drain_entry_into(entry, emit)
                 self._slots[i] = None
         return ops
 

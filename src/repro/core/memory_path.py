@@ -39,6 +39,14 @@ instead of O(tile) while the produced counters and event streams remain
 bit-identical to whole-tile execution (the engine is exactly equivalent
 to the scalar loop, which has no batch boundaries, and all cross-chunk
 state carries over).
+
+Issued FIM operations accumulate in an array-backed
+:class:`repro.dram.fim_batch.FimOpBatch` (structure-of-arrays), not a
+Python object list.  When a ``phase_sink``
+(:class:`repro.dram.system.PhaseAccumulator`) is attached, every
+processed chunk is drained straight into it, so even the *request
+stream* handed to the DRAM phase stays O(chunk) -- the final RSS term
+at paper scale.
 """
 
 from __future__ import annotations
@@ -50,7 +58,7 @@ import numpy as np
 
 from repro.cache.base import BaseCache
 from repro.core.collection_mshr import CollectionExtendedMSHR
-from repro.dram.system import FimOp
+from repro.dram.fim_batch import FimOpBatch
 
 #: default execution mode for newly built paths (tools/perf_report.py
 #: flips this to time the seed-identical scalar loop)
@@ -193,6 +201,9 @@ class ConventionalMemoryPath:
         )
         self.memo = BatchReplayMemo(capacity) if capacity > 0 else None
         self._requests = _RequestAccumulator()
+        #: optional PhaseAccumulator: when set, each processed chunk's
+        #: request stream is drained into it immediately (O(chunk) RSS)
+        self.phase_sink = None
 
     def run(self, addrs: np.ndarray, rmw: bool) -> None:
         """Process a batch of 8 B accesses (``rmw`` marks read-modify-write).
@@ -210,9 +221,18 @@ class ConventionalMemoryPath:
         chunk = self.chunk_size
         if chunk is None or n <= chunk:
             self._run_batch(addrs, rmw)
+        else:
+            for start in range(0, n, chunk):
+                self._run_batch(addrs[start : start + chunk], rmw)
+                self._drain_to_sink()
+        self._drain_to_sink()
+
+    def _drain_to_sink(self) -> None:
+        if self.phase_sink is None:
             return
-        for start in range(0, n, chunk):
-            self._run_batch(addrs[start : start + chunk], rmw)
+        addrs, writes = self.drain()
+        if addrs.size:
+            self.phase_sink.add(addrs=addrs, is_write=writes)
 
     def _run_batch(self, addrs: np.ndarray, rmw: bool) -> None:
         if not self.batched:
@@ -376,11 +396,14 @@ class FineGrainedMemoryPath:
             REPLAY_CAPACITY_DEFAULT if replay_capacity is None else replay_capacity
         )
         self.memo = BatchReplayMemo(capacity) if capacity > 0 else None
-        self.fim_ops: list[FimOp] = []
+        self.fim_ops = FimOpBatch()
         #: conventional bursts issued while the locality monitor bypasses
         self._bypass = _RequestAccumulator()
         self._last_bypass_fill = -1
         self._last_bypass_wb = -1
+        #: optional PhaseAccumulator: when set, each processed chunk's
+        #: FIM ops and bypass bursts drain into it immediately
+        self.phase_sink = None
 
     # ------------------------------------------------------------------
     def run(self, addrs: np.ndarray, rmw: bool) -> None:
@@ -400,9 +423,22 @@ class FineGrainedMemoryPath:
         chunk = self.chunk_size
         if chunk is None or n <= chunk:
             self._run_batch(addrs, rmw)
+        else:
+            for start in range(0, n, chunk):
+                self._run_batch(addrs[start : start + chunk], rmw)
+                self._drain_to_sink()
+        self._drain_to_sink()
+
+    def _drain_to_sink(self) -> None:
+        if self.phase_sink is None:
             return
-        for start in range(0, n, chunk):
-            self._run_batch(addrs[start : start + chunk], rmw)
+        ops, addrs, writes = self.drain()
+        if len(ops) or addrs.size:
+            self.phase_sink.add(
+                addrs=addrs if addrs.size else None,
+                is_write=writes if addrs.size else None,
+                fim_ops=ops if len(ops) else None,
+            )
 
     def _run_batch(self, addrs: np.ndarray, rmw: bool) -> None:
         if not self.batched:
@@ -453,7 +489,7 @@ class FineGrainedMemoryPath:
             )
             self._bypass._seal_scalar()
             record = (
-                tuple(self.fim_ops[ops_before:]),
+                self.fim_ops.tail_columns(ops_before),
                 tuple(self._bypass._chunks[bypass_chunks_before:]),
                 cache_delta,
                 mshr_delta,
@@ -466,7 +502,7 @@ class FineGrainedMemoryPath:
 
     def _replay(self, rec: tuple) -> None:
         (
-            ops,
+            op_columns,
             bypass_chunks,
             cache_delta,
             mshr_delta,
@@ -475,7 +511,7 @@ class FineGrainedMemoryPath:
             monitor_state,
             bypass_state,
         ) = rec
-        self.fim_ops.extend(ops)
+        self.fim_ops.extend_columns(op_columns)
         for chunk in bypass_chunks:
             self._bypass.append_arrays(*chunk)
         self.cache.counter_apply(cache_delta)
@@ -564,10 +600,10 @@ class FineGrainedMemoryPath:
                         ops.extend(issued)
 
     # ------------------------------------------------------------------
-    def drain(self) -> tuple[list[FimOp], np.ndarray, np.ndarray]:
+    def drain(self) -> tuple[FimOpBatch, np.ndarray, np.ndarray]:
         """Take accumulated FIM ops and bypass bursts (and reset)."""
         ops = self.fim_ops
-        self.fim_ops = []
+        self.fim_ops = FimOpBatch()
         addrs, writes = self._bypass.drain()
         return ops, addrs, writes
 

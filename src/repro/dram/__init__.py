@@ -11,7 +11,8 @@ without per-cycle simulation.
 
 from repro.dram.spec import DeviceSpec, DEVICES, DRAMConfig
 from repro.dram.address import AddressMapper
-from repro.dram.system import DRAMModel, PhaseStats, FimOp
+from repro.dram.fim_batch import FimOp, FimOpBatch
+from repro.dram.system import DRAMModel, PhaseAccumulator, PhaseStats
 
 __all__ = [
     "DeviceSpec",
@@ -19,6 +20,8 @@ __all__ = [
     "DRAMConfig",
     "AddressMapper",
     "DRAMModel",
+    "PhaseAccumulator",
     "PhaseStats",
     "FimOp",
+    "FimOpBatch",
 ]

@@ -98,6 +98,12 @@ class ExperimentScale:
     #: replay-memo capacity per memory path; None keeps the module
     #: default (256), 0 disables the memo entirely
     replay_capacity: int | None = None
+    #: chunk-streamed DRAM-phase evaluation: drain each processed memory-
+    #: path chunk straight into a PhaseAccumulator so per-tile request
+    #: streams (FIM-op batches, burst arrays) stay O(chunk); None = auto
+    #: (on whenever ``chunk_size`` is finite), False forces whole-tile
+    #: phase calls, True forces streaming
+    stream_phase: bool | None = None
     #: per-algorithm iteration caps (PR iterations are identical in cost,
     #: so a short run preserves every ratio; the paper caps at 40)
     max_iterations: dict = field(default_factory=_default_iterations)

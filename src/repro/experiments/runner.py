@@ -70,6 +70,7 @@ def run_system(
         ),
         chunk_size=chunk,
         replay_capacity=scale.replay_capacity,
+        stream_phase=scale.stream_phase,
     )
     if system in ("Piccolo", "NMP"):
         kwargs["mshr_entries"] = scale.mshr_entries
@@ -86,7 +87,7 @@ def run_system(
         cache_key = (
             system, algorithm, dataset, dram_config, pipeline,
             kwargs["tile_scale"], iters, shift, chunk,
-            scale.replay_capacity, scale.cache_ways,
+            scale.replay_capacity, scale.stream_phase, scale.cache_ways,
             scale.piccolo_cache_bytes, scale.baseline_cache_bytes,
             scale.spm_bytes, scale.mshr_entries, scale.fg_tag_bits,
             tuple(sorted(system_kwargs.items())),

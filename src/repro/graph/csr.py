@@ -131,6 +131,52 @@ class CSRGraph:
         np.cumsum(counts, out=indptr[1:])
         return cls(indptr=indptr, indices=dst, weights=weights, name=name)
 
+    @classmethod
+    def from_edges_consuming(
+        cls,
+        num_vertices: int,
+        edges: list,
+        *,
+        name: str = "graph",
+    ) -> "CSRGraph":
+        """:meth:`from_edges` (dedupe, zero weights) taking *ownership*
+        of ``edges = [src, dst]``: the list is emptied so each original
+        array is freed as soon as its sorted copy exists.
+
+        At paper scale the edge arrays are hundreds of megabytes; the
+        plain :meth:`from_edges` call necessarily keeps the caller's
+        originals alive next to the sorted copies, which makes graph
+        *generation* (not simulation) the transient-RSS peak of a run.
+        Generators use this entry point to stay within the paper-profile
+        memory budget; the produced graph is identical.
+        """
+        src, dst = edges
+        edges.clear()
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same shape")
+        if src.size and (src.min() < 0 or src.max() >= num_vertices):
+            raise ValueError("edge source out of range")
+        if dst.size and (dst.min() < 0 or dst.max() >= num_vertices):
+            raise ValueError("edge destination out of range")
+        order = np.lexsort((dst, src))
+        src = src[order]  # sequential rebinds: originals free one by one
+        dst = dst[order]
+        del order
+        if src.size:
+            keep = np.ones(src.size, dtype=bool)
+            keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+            src = src[keep]
+            dst = dst[keep]
+            del keep
+        counts = np.bincount(src, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # untouched zeros stay unmapped; generators overwrite them anyway
+        weights = np.zeros(src.size, dtype=np.int64)
+        return cls(indptr=indptr, indices=dst, weights=weights, name=name)
+
     def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return (src, dst, weight) parallel arrays in CSR order."""
         src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.out_degrees())

@@ -80,17 +80,25 @@ def rmat(
     num_edges = int(round(num_vertices * avg_degree))
 
     # Vectorised RMAT: one random draw per (edge, bit) decides the quadrant.
+    # Bit decisions stay boolean and the conditional dst threshold is a
+    # scalar select, so per-level temporaries are two float draws plus
+    # bool masks (the paper-profile graphs make 8-byte-per-edge
+    # temporaries the dominant transient cost; the produced bit
+    # decisions -- and hence the graph -- are unchanged).
     src = np.zeros(num_edges, dtype=np.int64)
     dst = np.zeros(num_edges, dtype=np.int64)
+    p_dst_given_src0 = b / max(a + b, 1e-12)
+    p_dst_given_src1 = d / max(c + d, 1e-12)
     for _ in range(scale):
         r = rng.random(num_edges)
-        src_bit = (r >= a + b).astype(np.int64)
+        src_bit = r >= a + b
         # Probability of dst bit depends on src bit: P(dst=1 | src=0) = b/(a+b).
         r2 = rng.random(num_edges)
-        p_hi = np.where(src_bit == 0, b / max(a + b, 1e-12), d / max(c + d, 1e-12))
-        dst_bit = (r2 < p_hi).astype(np.int64)
-        src = (src << 1) | src_bit
-        dst = (dst << 1) | dst_bit
+        src <<= 1
+        src |= src_bit
+        dst <<= 1
+        dst |= np.where(src_bit, r2 < p_dst_given_src1, r2 < p_dst_given_src0)
+    del r, r2, src_bit
     for endpoint in (src, dst):
         over = endpoint >= num_vertices
         count = int(np.count_nonzero(over))
@@ -98,7 +106,9 @@ def rmat(
             endpoint[over] = rng.integers(
                 0, num_vertices, size=count, dtype=np.int64
             )
-    graph = CSRGraph.from_edges(num_vertices, src, dst, name=name)
+        del over
+    graph = CSRGraph.from_edges_consuming(num_vertices, [src, dst], name=name)
+    del src, dst
     return assign_random_weights(graph, seed=seed + 1)
 
 

@@ -68,25 +68,53 @@ class TiledCSR:
     paper's topology-repetition cost comes from.
     """
 
-    def __init__(self, graph: CSRGraph, tile_width: int) -> None:
+    def __init__(
+        self, graph: CSRGraph, tile_width: int, with_weights: bool = True
+    ) -> None:
         if tile_width <= 0:
             raise ValueError("tile_width must be positive")
         self.graph = graph
         self.tile_width = min(tile_width, max(1, graph.num_vertices))
         self.num_tiles = tile_count(graph.num_vertices, self.tile_width)
+        #: algorithms that never read edge weights (PR/BFS/CC) skip the
+        #: per-tile weight copy; ``tile.weight`` is then a zero-stride
+        #: all-zeros view (same dtype/shape, no memory)
+        self.with_weights = with_weights
         self._tiles: list[Tile] = self._build()
 
     def _build(self) -> list[Tile]:
+        # Memory-lean construction: no whole-graph pre-copies, originals
+        # freed one by one as their sorted copies appear.  At paper
+        # scale the edge arrays are ~64 MB each, and the previous
+        # all-at-once reorder held eight of them plus sort temporaries
+        # -- the transient-RSS peak of a run.  Tile boundaries come from
+        # per-tile counts (== searchsorted on the sorted tile ids).
         graph = self.graph
-        src, dst, weight = graph.edge_array()
-        tile_of = dst // self.tile_width
-        order = np.lexsort((dst, src, tile_of))
-        src, dst, weight, tile_of = (
-            src[order], dst[order], weight[order], tile_of[order],
+        n_v = max(1, graph.num_vertices)
+        src = np.repeat(
+            np.arange(graph.num_vertices, dtype=np.int64), graph.out_degrees()
         )
-        boundaries = np.searchsorted(
-            tile_of, np.arange(self.num_tiles + 1, dtype=np.int64)
-        )
+        key = graph.indices // self.tile_width
+        counts = np.bincount(key, minlength=self.num_tiles)
+        boundaries = np.zeros(self.num_tiles + 1, dtype=np.int64)
+        np.cumsum(counts, out=boundaries[1:])
+        del counts
+        if self.num_tiles * n_v * n_v < 2**62:
+            # pack (tile, src, dst) into one int64 key, built in place --
+            # a stable argsort of the packed key is exactly the stable
+            # lexsort by (tile, src, dst), without its per-key buffers
+            key *= n_v
+            key += src
+            key *= n_v
+            key += graph.indices
+            order = np.argsort(key, kind="stable")
+        else:
+            order = np.lexsort((graph.indices, src, key))
+        del key
+        src = src[order]
+        dst = graph.indices[order]
+        weight = graph.weights[order] if self.with_weights else None
+        del order
         tiles = []
         for t in range(self.num_tiles):
             lo, hi = boundaries[t], boundaries[t + 1]
@@ -102,7 +130,12 @@ class TiledCSR:
                     dst_hi=min((t + 1) * self.tile_width, graph.num_vertices),
                     src=t_src,
                     dst=dst[lo:hi],
-                    weight=weight[lo:hi],
+                    weight=(
+                        weight[lo:hi] if weight is not None
+                        else np.broadcast_to(
+                            np.zeros(1, dtype=np.int64), (int(hi - lo),)
+                        )
+                    ),
                     src_unique=uniq,
                     src_edge_start=edge_start,
                 )

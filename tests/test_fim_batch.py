@@ -1,0 +1,440 @@
+"""Array-backed FIM-op stream: FimOpBatch + vectorized/streamed phase.
+
+Three layers of equivalence, mirroring the batched-engine discipline of
+``test_batched_equivalence.py``:
+
+1. :class:`FimOpBatch` behaves exactly like the ``list[FimOp]`` it
+   replaced (indexing, iteration, equality, slicing).
+2. ``DRAMModel.phase`` over a batch is bit-identical -- every
+   PhaseStats field, floats included -- to the pre-batch per-op scalar
+   walk (reimplemented here as the oracle) and to ``phase`` over the
+   equivalent plain list.
+3. ``DRAMModel.open_phase`` (chunk-streamed evaluation) reproduces the
+   one-shot ``phase`` call over the concatenated stream: bit-identical
+   counters, episode counts, and scheduler-window decisions for any
+   chunking; bit-identical floats for single-stream phases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.collection_mshr import CollectionExtendedMSHR
+from repro.core.memory_path import FineGrainedMemoryPath
+from repro.core.piccolo_cache import PiccoloCache
+from repro.dram.address import AddressMapper
+from repro.dram.fim_batch import FimOp, FimOpBatch
+from repro.dram.spec import DEVICES, DRAMConfig
+from repro.dram.system import DRAMModel, PhaseStats
+from repro.utils.units import ceil_div
+
+
+def make_config(channels=2, ranks=2):
+    return DRAMConfig(
+        spec=DEVICES["DDR4_2400_x16"], channels=channels, ranks=ranks
+    )
+
+
+CONFIG = make_config()
+
+# -- strategies --------------------------------------------------------------
+fim_op_tuples = st.tuples(
+    st.integers(0, CONFIG.channels - 1),          # channel
+    st.integers(0, CONFIG.ranks - 1),             # rank
+    st.integers(0, CONFIG.total_banks - 1),       # bank
+    st.integers(0, 40),                           # row (small: long runs)
+    st.integers(1, 8),                            # items
+    st.booleans(),                                # is_scatter
+    st.booleans(),                                # rank_level
+)
+op_streams = st.lists(fim_op_tuples, min_size=0, max_size=200)
+chunk_seed = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def to_ops(tuples):
+    return [FimOp(*t) for t in tuples]
+
+
+def to_batch(tuples):
+    batch = FimOpBatch()
+    for t in tuples:
+        batch.append(*t)
+    return batch
+
+
+# ---------------------------------------------------------------------------
+# 1. FimOpBatch as a sequence of FimOp
+# ---------------------------------------------------------------------------
+class TestFimOpBatch:
+    def test_empty(self):
+        batch = FimOpBatch()
+        assert len(batch) == 0
+        assert not batch
+        assert batch == []
+        assert batch.to_ops() == []
+        assert batch.as_tuples() == ()
+
+    def test_append_and_index(self):
+        batch = FimOpBatch()
+        batch.append(0, 1, 2, 3, 4, True, False)
+        batch.append(1, 0, 5, 6, 7, False, True)
+        assert len(batch) == 2
+        assert batch[0] == FimOp(0, 1, 2, 3, 4, True, False)
+        assert batch[-1] == FimOp(1, 0, 5, 6, 7, False, True)
+        with pytest.raises(IndexError):
+            batch[2]
+
+    def test_iteration_and_eq_with_list(self):
+        ops = [FimOp(0, 0, 3, 9, 8, False), FimOp(1, 1, 4, 2, 1, True, True)]
+        batch = FimOpBatch.from_ops(ops)
+        assert list(batch) == ops
+        assert batch == ops
+        assert batch != ops[:1]
+        assert batch == FimOpBatch.from_ops(ops)
+
+    def test_slice_returns_batch(self):
+        ops = to_ops([(0, 0, i, i, 1, False, False) for i in range(10)])
+        batch = FimOpBatch.from_ops(ops)
+        tail = batch[3:]
+        assert isinstance(tail, FimOpBatch)
+        assert tail == ops[3:]
+
+    def test_extend_merges_batches_and_lists(self):
+        a = FimOpBatch.from_ops([FimOp(0, 0, 1, 1, 8, False)])
+        b = FimOpBatch.from_ops([FimOp(1, 1, 2, 2, 4, True)])
+        a.extend(b)
+        a.extend([FimOp(0, 1, 3, 3, 2, False, True)])
+        assert len(a) == 3
+        assert a[1].is_scatter and a[2].rank_level
+
+    def test_columns_shapes_and_dtypes(self):
+        batch = to_batch([(0, 1, 2, 3, 4, True, False)] * 5)
+        cols = batch.columns()
+        assert len(cols) == 7
+        assert all(c.shape == (5,) for c in cols)
+        assert all(c.dtype == np.int64 for c in cols[:5])
+        assert all(c.dtype == bool for c in cols[5:])
+
+    def test_tail_columns_roundtrip(self):
+        ops = to_ops([(0, 0, i % 4, i, 1 + i % 8, i % 2 == 0, False)
+                      for i in range(20)])
+        batch = FimOpBatch.from_ops(ops)
+        rec = batch.tail_columns(12)
+        replay = FimOpBatch()
+        replay.extend_columns(rec)
+        assert replay == ops[12:]
+
+    def test_as_tuples_view(self):
+        tuples = [(0, 1, 2, 3, 4, True, False), (1, 0, 9, 8, 7, False, True)]
+        assert to_batch(tuples).as_tuples() == tuple(tuples)
+
+    def test_clear(self):
+        batch = to_batch([(0, 0, 0, 0, 1, False, False)])
+        batch.clear()
+        assert len(batch) == 0 and batch == []
+
+
+# ---------------------------------------------------------------------------
+# 2. Vectorized phase vs the per-op scalar walk (the oracle)
+# ---------------------------------------------------------------------------
+def reference_phase_fim(model: DRAMModel, ops: list[FimOp]) -> PhaseStats:
+    """The pre-FimOpBatch per-op scalar walk, preserved verbatim as the
+    oracle for the vectorized FIM evaluation."""
+    spec = model.spec
+    config = model.config
+    stats = PhaseStats(_burst_bytes=spec.burst_bytes)
+    bank_busy = np.zeros(config.total_banks, dtype=np.float64)
+    bus_busy = np.zeros(config.channels, dtype=np.float64)
+    rank_busy = np.zeros(config.channels * config.ranks, dtype=np.float64)
+    if ops:
+        fim_bank = np.fromiter(
+            (op.bank for op in ops), dtype=np.int64, count=len(ops)
+        )
+        fim_row = np.fromiter(
+            (op.row for op in ops), dtype=np.int64, count=len(ops)
+        )
+        cost = np.empty(len(ops), dtype=np.float64)
+        for i, op in enumerate(ops):
+            if op.rank_level:
+                cost[i] = op.items * model._col_cost
+                rank_busy[op.channel * config.ranks + op.rank] += (
+                    spec.tRCD + op.items * model._col_cost + spec.tRP
+                )
+            else:
+                cost[i] = model._fim_bank_cost
+            off_b = config.fim_offset_bursts
+            data_b = max(1, ceil_div(op.items * 8, spec.burst_bytes))
+            bus_busy[op.channel] += (off_b + data_b) * spec.tBURST
+            stats.fim_offset_bursts += off_b
+            stats.write_bursts += off_b
+            if op.is_scatter:
+                stats.fim_scatters += 1
+                stats.write_bursts += data_b
+            else:
+                stats.fim_gathers += 1
+                stats.read_bursts += data_b
+            stats.internal_words += op.items
+        order = model._window_order(fim_bank, fim_row)
+        if order is not None:
+            fim_bank, fim_row, cost = (
+                fim_bank[order], fim_row[order], cost[order]
+            )
+        model._accumulate_episodes(fim_bank, fim_row, cost, bank_busy, stats)
+    stats.bus_busy_ns = float(bus_busy.sum())
+    busiest = max(
+        float(bank_busy.max(initial=0.0)),
+        float(bus_busy.max(initial=0.0)),
+        float(rank_busy.max(initial=0.0)),
+    )
+    if busiest > 0.0:
+        busiest = max(busiest, model.latency_ns())
+    stats.time_ns = busiest
+    return stats
+
+
+@settings(max_examples=60, deadline=None)
+@given(tuples=op_streams)
+def test_phase_batch_matches_scalar_walk_bitwise(tuples):
+    model = DRAMModel(make_config())
+    expected = reference_phase_fim(model, to_ops(tuples))
+    got = model.phase(fim_ops=to_batch(tuples))
+    assert vars(got) == vars(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tuples=op_streams)
+def test_phase_list_and_batch_agree(tuples):
+    model = DRAMModel(make_config())
+    from_list = model.phase(fim_ops=to_ops(tuples))
+    from_batch = model.phase(fim_ops=to_batch(tuples))
+    assert vars(from_list) == vars(from_batch)
+
+
+class TestSchedulerWindowBehaviour:
+    """The windowed row-hit-first reorder decision must survive the
+    vectorization and the chunk-streamed evaluation unchanged."""
+
+    def interleaved(self, model, n=64):
+        """Rows A/B alternating within windows: reorder halves episodes."""
+        return [FimOp(0, 0, 0, i % 2, 8, False) for i in range(n)]
+
+    def run_of_rows(self, model, n=64):
+        """One long same-row run: reorder cannot help (arrival kept)."""
+        return [FimOp(0, 0, 0, 0, 8, False) for i in range(n)]
+
+    def test_reorder_reduces_episodes(self):
+        model = DRAMModel(make_config())
+        ops = self.interleaved(model)
+        acts = model.phase(fim_ops=FimOpBatch.from_ops(ops)).acts
+        arrival_acts = DRAMModel(
+            make_config(), scheduler_window=1
+        ).phase(fim_ops=FimOpBatch.from_ops(ops)).acts
+        assert acts < arrival_acts  # the window reorder was accepted
+        assert acts == len(ops) * 2 // model.scheduler_window
+
+    def test_same_row_run_keeps_single_episode(self):
+        model = DRAMModel(make_config())
+        stats = model.phase(
+            fim_ops=FimOpBatch.from_ops(self.run_of_rows(model))
+        )
+        assert stats.acts == 1
+
+    @pytest.mark.parametrize("chunk", [1, 5, 31, 32, 33])
+    def test_streamed_episode_counts_match(self, chunk):
+        model = DRAMModel(make_config())
+        for ops in (self.interleaved(model, 96), self.run_of_rows(model, 96)):
+            batch = FimOpBatch.from_ops(ops)
+            whole = model.phase(fim_ops=batch)
+            acc = model.open_phase()
+            for start in range(0, len(ops), chunk):
+                acc.add(fim_ops=batch[start:start + chunk])
+            assert vars(acc.close()) == vars(whole)
+
+
+# ---------------------------------------------------------------------------
+# 3. Chunk-streamed phase evaluation (PhaseAccumulator)
+# ---------------------------------------------------------------------------
+def split_spans(n, seed):
+    rng = np.random.default_rng(seed)
+    spans = []
+    pos = 0
+    while pos < n:
+        step = int(rng.integers(1, 48))
+        spans.append((pos, min(n, pos + step)))
+        pos += step
+    return spans
+
+
+@settings(max_examples=40, deadline=None)
+@given(tuples=op_streams, seed=chunk_seed)
+def test_streamed_fim_phase_bitwise_identical(tuples, seed):
+    model = DRAMModel(make_config())
+    batch = to_batch(tuples)
+    whole = model.phase(fim_ops=batch)
+    acc = model.open_phase()
+    for lo, hi in split_spans(len(tuples), seed):
+        acc.add(fim_ops=batch[lo:hi])
+    assert vars(acc.close()) == vars(whole)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=chunk_seed, n=st.integers(0, 400))
+def test_streamed_burst_phase_bitwise_identical(seed, n):
+    model = DRAMModel(make_config())
+    rng = np.random.default_rng(seed)
+    addrs = (rng.integers(0, 1 << 20, n) * 64).astype(np.int64)
+    writes = rng.random(n) < 0.4
+    internal = rng.random(n) < 0.1
+    whole = model.phase(
+        addrs=addrs, is_write=writes, internal_mask=internal,
+        loose_read_bursts=5, stream_read_bytes=1e5,
+    )
+    acc = model.open_phase()
+    for lo, hi in split_spans(n, seed + 1):
+        acc.add(
+            addrs=addrs[lo:hi], is_write=writes[lo:hi],
+            internal_mask=internal[lo:hi],
+        )
+    acc.add(loose_read_bursts=5)
+    assert vars(acc.close(stream_read_bytes=1e5)) == vars(whole)
+
+
+INT_FIELDS = (
+    "acts", "read_bursts", "write_bursts", "fim_offset_bursts",
+    "fim_gathers", "fim_scatters", "internal_words",
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tuples=op_streams, seed=chunk_seed, n=st.integers(1, 300))
+def test_streamed_mixed_phase_counters_identical(tuples, seed, n):
+    """Phases mixing bursts and FIM ops: integer counters and episode
+    counts are bit-identical; busy-time floats may differ by ulps (the
+    two streams accumulate into separate busy arrays)."""
+    model = DRAMModel(make_config())
+    rng = np.random.default_rng(seed)
+    addrs = (rng.integers(0, 1 << 20, n) * 64).astype(np.int64)
+    batch = to_batch(tuples)
+    whole = model.phase(addrs=addrs, fim_ops=batch)
+    acc = model.open_phase()
+    fim_spans = split_spans(len(tuples), seed + 1)
+    addr_spans = split_spans(n, seed + 2)
+    for i in range(max(len(fim_spans), len(addr_spans))):
+        kwargs = {}
+        if i < len(addr_spans):
+            lo, hi = addr_spans[i]
+            kwargs["addrs"] = addrs[lo:hi]
+        if i < len(fim_spans):
+            lo, hi = fim_spans[i]
+            kwargs["fim_ops"] = batch[lo:hi]
+        acc.add(**kwargs)
+    streamed = acc.close()
+    for name in INT_FIELDS:
+        assert getattr(streamed, name) == getattr(whole, name), name
+    assert streamed.time_ns == pytest.approx(whole.time_ns, rel=1e-12)
+    assert streamed.bus_busy_ns == pytest.approx(whole.bus_busy_ns, rel=1e-12)
+
+
+def test_accumulator_rejects_use_after_close():
+    model = DRAMModel(make_config())
+    acc = model.open_phase()
+    acc.close()
+    with pytest.raises(RuntimeError):
+        acc.add(loose_read_bursts=1)
+    with pytest.raises(RuntimeError):
+        acc.close()
+
+
+# ---------------------------------------------------------------------------
+# Producers: MSHR and memory path emit FimOpBatch end to end
+# ---------------------------------------------------------------------------
+class TestProducersEmitBatches:
+    @pytest.fixture
+    def mapper(self):
+        return AddressMapper(
+            DRAMConfig(spec=DEVICES["DDR4_2400_x16"], channels=1, ranks=1)
+        )
+
+    def test_add_batch_returns_batch(self, mapper):
+        mshr = CollectionExtendedMSHR(mapper, num_entries=16, items_per_op=4)
+        addrs = np.arange(16, dtype=np.int64) * 8
+        ops = mshr.add_batch(addrs, np.zeros(16, dtype=bool))
+        assert isinstance(ops, FimOpBatch)
+        assert isinstance(mshr.flush(), FimOpBatch)
+
+    def test_path_drain_returns_batch(self, mapper):
+        path = FineGrainedMemoryPath(
+            PiccoloCache(1024, ways=2, fg_tag_bits=4),
+            CollectionExtendedMSHR(mapper, num_entries=16, items_per_op=8),
+        )
+        path.run(np.arange(64, dtype=np.int64) * 8, rmw=True)
+        path.flush()
+        ops, addrs, writes = path.drain()
+        assert isinstance(ops, FimOpBatch)
+        assert len(ops) > 0
+        # a drained batch feeds phase() without conversion
+        model = DRAMModel(make_config(channels=1, ranks=1))
+        stats = model.phase(fim_ops=ops)
+        assert stats.fim_gathers + stats.fim_scatters == len(ops)
+
+    def test_path_streams_into_sink(self, mapper):
+        """With a phase_sink attached, chunks drain immediately: the
+        path holds no whole-tile FIM batch, and the accumulated phase
+        equals the whole-tile evaluation."""
+        model = DRAMModel(make_config(channels=1, ranks=1))
+
+        def build():
+            return FineGrainedMemoryPath(
+                PiccoloCache(1024, ways=2, fg_tag_bits=4),
+                CollectionExtendedMSHR(mapper, num_entries=16, items_per_op=8),
+                chunk_size=64,
+                replay_capacity=0,
+            )
+
+        rng = np.random.default_rng(11)
+        stream = (rng.integers(0, 1 << 13, 2000) * 8).astype(np.int64)
+
+        whole = build()
+        whole.run(stream, rmw=True)
+        ops, addrs, writes = whole.drain()
+        expected = model.phase(
+            addrs=addrs if addrs.size else None,
+            is_write=writes if addrs.size else None,
+            fim_ops=ops,
+        )
+
+        streamed = build()
+        acc = model.open_phase()
+        streamed.phase_sink = acc
+        streamed.run(stream, rmw=True)
+        streamed.phase_sink = None
+        assert len(streamed.fim_ops) == 0  # everything drained per chunk
+        tail_ops, tail_addrs, _ = streamed.drain()
+        assert len(tail_ops) == 0 and tail_addrs.size == 0
+        assert vars(acc.close()) == vars(expected)
+
+
+# ---------------------------------------------------------------------------
+# Across profiles: streamed vs whole-tile phase at system level
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("system", ["Piccolo", "NMP", "GraphDyns (Cache)"])
+def test_system_streamed_phase_matches_whole(system):
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.runner import clear_result_cache, run_system
+
+    results = {}
+    for stream_phase in (False, True):
+        clear_result_cache()
+        scale = ExperimentScale(
+            name=f"stream-{stream_phase}",
+            chunk_size=256,
+            stream_phase=stream_phase,
+        )
+        r = run_system(system, "PR", "TW", scale=scale, max_iterations=2)
+        results[stream_phase] = (
+            r.total_ns, r.memory_ns, r.compute_ns,
+            vars(r.dram), r.cache_hits, r.cache_misses, r.mshr_ops,
+        )
+    clear_result_cache()
+    assert results[True] == results[False]

@@ -9,6 +9,7 @@ TOOLS = pathlib.Path(__file__).parent.parent / "tools"
 sys.path.insert(0, str(TOOLS))
 
 from generate_report import headline_numbers, parse_tables  # noqa: E402
+from perf_report import check_regressions, reference_times  # noqa: E402
 
 SAMPLE = """\
 some pytest noise
@@ -78,3 +79,65 @@ class TestHeadlines:
     def test_missing_are_absent(self):
         numbers = headline_numbers({}, "nothing here")
         assert "fig12_reduction" not in numbers
+
+
+class TestPerfRegressionGate:
+    """tools/perf_report.py --check semantics (the CI gate)."""
+
+    TRAJECTORY = {
+        "workloads": {},
+        "trajectory": [
+            {"label": "seed", "mode": "seed-checkout",
+             "times": {"a": 10.0, "b": 8.0}},
+            {"label": "old-batched", "mode": "batched",
+             "times": {"a": 2.0, "b": 1.0}},
+            {"label": "scalar-later", "mode": "scalar",
+             "times": {"a": 9.0}},
+            {"label": "new-batched", "mode": "batched",
+             "times": {"a": 1.0}},
+        ],
+    }
+
+    def test_reference_is_latest_batched_point(self):
+        refs, labels = reference_times(self.TRAJECTORY)
+        assert refs == {"a": 1.0, "b": 1.0}
+        assert labels == {"a": "new-batched", "b": "old-batched"}
+
+    def test_within_ratio_passes(self):
+        cells, ok = check_regressions(
+            self.TRAJECTORY, {"a": 1.2, "b": 1.25}, ratio=1.3
+        )
+        assert ok
+        assert {c["cell"]: c["status"] for c in cells} == {
+            "a": "ok", "b": "ok",
+        }
+
+    def test_slowdown_fails(self):
+        cells, ok = check_regressions(
+            self.TRAJECTORY, {"a": 1.4, "b": 1.0}, ratio=1.3
+        )
+        assert not ok
+        by_cell = {c["cell"]: c for c in cells}
+        assert by_cell["a"]["status"] == "fail"
+        assert by_cell["a"]["slowdown"] == pytest.approx(1.4)
+        assert by_cell["a"]["reference_label"] == "new-batched"
+        assert by_cell["b"]["status"] == "ok"
+
+    def test_unrecorded_cell_is_no_baseline_not_failure(self):
+        cells, ok = check_regressions(
+            self.TRAJECTORY, {"brand-new": 99.0}, ratio=1.3
+        )
+        assert ok
+        assert cells == [
+            {"cell": "brand-new", "measured_s": 99.0,
+             "status": "no-baseline"},
+        ]
+
+    def test_scalar_and_seed_points_are_not_references(self):
+        refs, _ = reference_times(
+            {"trajectory": [
+                {"label": "seed", "mode": "seed-checkout", "times": {"a": 10}},
+                {"label": "s", "mode": "scalar", "times": {"a": 9}},
+            ]}
+        )
+        assert refs == {}

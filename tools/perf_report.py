@@ -40,6 +40,18 @@ RSS.  These cells have no scalar baseline (the seed could not run them
 at all); their value is the recorded trend itself.  ``--chunk-size``
 overrides the profile's memory-path tile chunking for the run.
 
+``--check`` turns the run into a CI perf-regression *gate*: every timed
+cell is compared against its most recent recorded batched-mode
+trajectory point, and the process exits non-zero if any cell is slower
+than ``--check-ratio`` (default 1.3x) times its recorded time.  No
+trajectory point is written; a machine-readable verdict goes to
+``--report-out`` (default ``perf_check_report.json`` next to the
+trajectory) for upload as a workflow artifact.  Cells with no recorded
+reference are reported as ``no-baseline`` and do not fail the gate.
+
+``--max-seconds`` / ``--max-rss-mb`` are absolute budgets (nightly
+paper-profile watchdog): exceed either and the run exits non-zero.
+
 Workload notes: BFS runs to frontier exhaustion; PR runs 12 identical
 power iterations (the figure harness caps PR at 3 purely for seed
 wall-clock reasons -- the paper itself runs up to 40, so a deeper run is
@@ -216,6 +228,54 @@ def baseline_times(report):
     return times, labels
 
 
+def reference_times(report):
+    """Per-cell regression reference: the *latest* batched-mode point
+    that timed the cell (the trajectory the ``--check`` gate defends)."""
+    times: dict[str, float] = {}
+    labels: dict[str, str] = {}
+    for point in report["trajectory"]:
+        if point.get("mode") != "batched":
+            continue
+        for name, seconds in point["times"].items():
+            times[name] = seconds
+            labels[name] = point["label"]
+    return times, labels
+
+
+def check_regressions(report, times, ratio):
+    """Compare measured ``times`` against the recorded trajectory.
+
+    Returns (cell verdict list, ok).  A cell fails when measured time
+    exceeds ``ratio`` x its reference; cells without a recorded batched
+    reference are 'no-baseline' and do not fail the gate.
+    """
+    refs, labels = reference_times(report)
+    cells = []
+    ok = True
+    for name, measured in sorted(times.items()):
+        ref = refs.get(name)
+        if ref is None or ref <= 0:
+            cells.append(
+                {"cell": name, "measured_s": measured, "status": "no-baseline"}
+            )
+            continue
+        slowdown = measured / ref
+        status = "ok" if slowdown <= ratio else "fail"
+        if status == "fail":
+            ok = False
+        cells.append(
+            {
+                "cell": name,
+                "measured_s": measured,
+                "reference_s": ref,
+                "reference_label": labels[name],
+                "slowdown": round(slowdown, 3),
+                "status": status,
+            }
+        )
+    return cells, ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI smoke subset")
@@ -250,11 +310,50 @@ def main(argv=None) -> int:
         metavar="N",
         help="override the profile's memory-path tile chunking",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="perf-regression gate: fail on >--check-ratio slowdown vs "
+        "the recorded trajectory (implies --no-write)",
+    )
+    parser.add_argument(
+        "--check-ratio",
+        type=float,
+        default=1.3,
+        metavar="R",
+        help="max tolerated slowdown per cell in --check mode",
+    )
+    parser.add_argument(
+        "--report-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="where to write the --check / budget verdict JSON "
+        "(default: perf_check_report.json next to the trajectory)",
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="absolute budget: fail if the summed best cell times exceed S",
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="absolute budget: fail if process peak RSS exceeds MB",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
     if args.profile and args.scalar_baseline:
         parser.error("--profile cells have no scalar baseline to record")
+    if args.check and args.scalar_baseline:
+        parser.error("--check gates the batched trajectory, not scalar runs")
+    if args.check_ratio <= 1.0:
+        parser.error("--check-ratio must be > 1.0")
 
     if args.profile:
         cells = _normalise(PROFILE_CELLS[args.profile])
@@ -273,12 +372,21 @@ def main(argv=None) -> int:
     mode = "scalar" if args.scalar_baseline else "batched"
     if args.scalar_baseline:
         memory_path.BATCHED_DEFAULT = False
+    if args.check:
+        args.no_write = True
     label = args.label or (
         f"{mode}-{args.profile}" if args.profile else mode
     )
 
     print(f"perf_report: mode={mode} repeats={args.repeats} cells={len(cells)}")
     times = run_suite(cells, args.repeats)
+    import resource
+
+    # ru_maxrss is the process high-water mark (KB on Linux): an upper
+    # bound on what the chunked paths actually held.
+    peak_rss_mb = round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+    )
 
     report = load_trajectory(args.json)
     base_times, base_labels = baseline_times(report)
@@ -290,15 +398,9 @@ def main(argv=None) -> int:
         "times": times,
     }
     if args.profile:
-        import resource
-
         point["profile"] = args.profile
-        # ru_maxrss is the process high-water mark (KB on Linux): an
-        # upper bound on what the chunked paths actually held.
-        point["peak_rss_mb"] = round(
-            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
-        )
-        print(f"peak RSS: {point['peak_rss_mb']} MB")
+        point["peak_rss_mb"] = peak_rss_mb
+        print(f"peak RSS: {peak_rss_mb} MB")
     if args.chunk_size is not None:
         point["chunk_size"] = args.chunk_size
 
@@ -349,6 +451,70 @@ def main(argv=None) -> int:
         report["trajectory"].append(point)
         args.json.write_text(json.dumps(report, indent=1) + "\n")
         print(f"\nappended trajectory point {label!r} to {args.json}")
+
+    # -- CI gates: trajectory regression check + absolute budgets --------
+    gating = (
+        args.check
+        or args.max_seconds is not None
+        or args.max_rss_mb is not None
+    )
+    if not gating:
+        return 0
+    total_best = round(sum(times.values()), 3)
+    verdict = {
+        "mode": mode,
+        "profile": args.profile,
+        "quick": bool(args.quick),
+        "timestamp": point["timestamp"],
+        "times": times,
+        "total_best_seconds": total_best,
+        "peak_rss_mb": peak_rss_mb,
+        "ok": True,
+        "failures": [],
+    }
+    if args.check:
+        cell_verdicts, cells_ok = check_regressions(
+            report, times, args.check_ratio
+        )
+        verdict["check_ratio"] = args.check_ratio
+        verdict["cells"] = cell_verdicts
+        if not cells_ok:
+            verdict["ok"] = False
+            verdict["failures"].append("cell-regression")
+        print(f"\nperf-regression gate (<= {args.check_ratio}x per cell):")
+        for cell in cell_verdicts:
+            slow = cell.get("slowdown")
+            print(
+                f"  {cell['cell']:38s} {cell['measured_s']:8.3f} s  "
+                + (
+                    f"{slow:5.2f}x vs {cell['reference_label']:24s} "
+                    f"[{cell['status']}]"
+                    if slow is not None
+                    else "[no-baseline]"
+                )
+            )
+    if args.max_seconds is not None and total_best > args.max_seconds:
+        verdict["ok"] = False
+        verdict["failures"].append(
+            f"wall-clock {total_best}s > budget {args.max_seconds}s"
+        )
+    if args.max_rss_mb is not None and peak_rss_mb > args.max_rss_mb:
+        verdict["ok"] = False
+        verdict["failures"].append(
+            f"peak RSS {peak_rss_mb} MB > budget {args.max_rss_mb} MB"
+        )
+    report_out = args.report_out or (
+        args.json.parent / "perf_check_report.json"
+    )
+    report_out.write_text(json.dumps(verdict, indent=1) + "\n")
+    print(
+        f"gate verdict: {'OK' if verdict['ok'] else 'FAIL'} "
+        f"(total {total_best}s, peak RSS {peak_rss_mb} MB) -> {report_out}"
+    )
+    if not verdict["ok"]:
+        for failure in verdict["failures"]:
+            print(f"  FAIL: {failure}")
+        return 1
     return 0
 
 

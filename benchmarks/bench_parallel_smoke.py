@@ -1,0 +1,58 @@
+"""Parallel sweep smoke: a 2-worker mid-profile sweep under a budget.
+
+The parallel orchestrator's correctness properties (bit-identical
+results, kill-and-resume, one graph copy) are pinned at toy scale in
+``tests/test_parallel.py``; this smoke exercises the same machinery at
+the ``mid`` profile in CI -- spawn workers, memmapped graph sharing,
+per-cell checkpoints -- so a regression that only bites with real
+worker processes and non-trivial graphs (a spec that stopped pickling,
+a memmap attach that silently regenerates, a checkpoint that no longer
+round-trips) is caught under a wall-clock budget.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel_smoke.py -q
+"""
+
+import time
+
+from repro.experiments import parallel
+from repro.experiments.runner import CellSpec, clear_result_cache
+
+#: generous CI budget; the sweep takes ~30 s serial on the reference
+#: container (see the ``parallel/`` trajectory in BENCH_hotpath.json)
+BUDGET_SECONDS = 300.0
+
+#: the smoke sweep: the mid-profile Fig. 10 PR cells on the smallest
+#: real-world dataset, baseline + Piccolo
+SPECS = [
+    CellSpec(system=system, algorithm="PR", dataset="UU", scale="mid")
+    for system in ("GraphDyns (Cache)", "Piccolo")
+]
+
+
+def test_two_worker_mid_sweep_under_budget(tmp_path, capsys):
+    clear_result_cache()
+    start = time.perf_counter()
+    outcomes = parallel.run_cells(
+        SPECS, workers=2, checkpoint_dir=tmp_path / "ck"
+    )
+    elapsed = time.perf_counter() - start
+    with capsys.disabled():
+        print(f"\nparallel smoke: 2-worker mid Fig. 10 PR/UU sweep in "
+              f"{elapsed:.1f}s (budget {BUDGET_SECONDS:.0f}s)")
+    clear_result_cache()
+    assert elapsed < BUDGET_SECONDS, (
+        f"2-worker mid sweep took {elapsed:.1f}s (budget {BUDGET_SECONDS}s)"
+    )
+    # every cell ran in a worker and was checkpointed
+    assert [o.source for o in outcomes] == ["worker", "worker"]
+    assert all(o.result.total_ns > 0 for o in outcomes)
+    store = parallel.SweepCheckpointStore(tmp_path / "ck")
+    assert len(store) == len(SPECS)
+    # a resumed sweep serves every cell from the checkpoints
+    resumed = parallel.run_cells(
+        SPECS, workers=2, resume=True, checkpoint_dir=tmp_path / "ck"
+    )
+    assert [o.source for o in resumed] == ["checkpoint", "checkpoint"]
+    assert [o.result for o in resumed] == [o.result for o in outcomes]

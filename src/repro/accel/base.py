@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.accel.pipeline import PipelineConfig
@@ -74,6 +75,31 @@ class SystemResult:
         if self.cache_accesses == 0:
             return 0.0
         return self.cache_hits / self.cache_accesses
+
+    # -- checkpoint serialisation --------------------------------------
+    def to_record(self) -> dict:
+        """Plain-data form of the result (JSON-safe: strs, ints, floats).
+
+        Exact round-trip: Python's JSON encoder emits shortest-roundtrip
+        float literals, so ``from_record(json.loads(json.dumps(r)))``
+        reproduces every counter and timing bit-for-bit -- the property
+        the sweep checkpoints and the parallel-equivalence tests rely
+        on.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SystemResult":
+        """Rebuild a result from :meth:`to_record` output."""
+        data = dict(record)
+        data["dram"] = PhaseStats(**data.get("dram", {}))
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SystemResult record fields: {sorted(unknown)}"
+            )
+        return cls(**data)
 
 
 class AcceleratorSystem:

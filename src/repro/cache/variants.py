@@ -46,11 +46,53 @@ FIG11_VARIANTS = {
     "8B-Line": lambda size, ways=8: EightByteLineCache(size, ways=ways),
 }
 
+#: Fig. 11 *figure* design list: the five registry variants plus the two
+#: Piccolo policy rows, in the figure's plotting order.  These are the
+#: names ``CellSpec.cache_design`` accepts -- the picklable way to
+#: request a design substitution (a cache factory callable cannot cross
+#: a process boundary and has no canonical digest form).
+FIG11_DESIGNS = (
+    "Sectored",
+    "Amoeba",
+    "Scrabble",
+    "Graphfire",
+    "Piccolo (LRU)",
+    "Piccolo (RRIP)",
+    "8B-Line",
+)
+
+
+def fig11_cache_factory(design: str, *, ways: int = 8, fg_tag_bits: int = 4):
+    """``size -> cache`` factory for a named Fig. 11 design.
+
+    ``ways``/``fg_tag_bits`` come from the experiment scale profile
+    (``fg_tag_bits`` only applies to the Piccolo policy rows).
+    """
+    if design in FIG11_VARIANTS:
+        variant = FIG11_VARIANTS[design]
+        return lambda size: variant(size, ways=ways)
+    if design in ("Piccolo (LRU)", "Piccolo (RRIP)"):
+        # deferred: core.piccolo_cache imports cache.base/batched, so a
+        # module-level import here would be a package-init cycle hazard
+        from repro.core.piccolo_cache import PiccoloCache
+
+        policy = "lru" if design == "Piccolo (LRU)" else "rrip"
+        return lambda size: PiccoloCache(
+            size, ways=ways, fg_tag_bits=fg_tag_bits, policy=policy
+        )
+    raise KeyError(
+        f"unknown Fig. 11 cache design {design!r}; "
+        f"available: {list(FIG11_DESIGNS)}"
+    )
+
+
 __all__ = [
     "AmoebaCache",
     "EightByteLineCache",
+    "FIG11_DESIGNS",
     "FIG11_VARIANTS",
     "GraphfireCache",
     "ScrabbleCache",
     "SectoredCache",
+    "fig11_cache_factory",
 ]

@@ -4,12 +4,17 @@ Commands:
 
 ``list``
     Show every reproducible figure with its paper headline.
-``figure <id> [--fast] [--profile NAME] [--chunk-size N]``
+``figure <id> [--fast] [--profile NAME] [--chunk-size N] [--workers N]
+[--resume] [--checkpoint-dir DIR]``
     Regenerate one figure table (e.g. ``fig10``, ``fig19b``).  With
     ``--fast`` the experiment grid is trimmed (fewer datasets and
     iterations) for a quick smoke run.  ``--profile`` selects the
     experiment scale (``toy`` default, ``mid``, ``paper``) and
     ``--chunk-size`` overrides the profile's memory-path tile chunking.
+    ``--workers`` shards the figure's grid across worker processes that
+    share memmapped graphs; ``--resume`` (with ``--checkpoint-dir``,
+    default ``.repro_checkpoints``) skips cells already checkpointed by
+    an earlier -- possibly killed -- run.
 ``profiles``
     Print the scale-profile knob table (toy / mid / paper).
 ``microbench [--engine]``
@@ -96,12 +101,25 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     scale = get_profile(args.profile)
     if args.chunk_size is not None:
         scale = dataclasses.replace(scale, chunk_size=args.chunk_size)
-    takes_scale = "scale" in inspect.signature(fn).parameters
+    params = inspect.signature(fn).parameters
+    takes_scale = "scale" in params
     if takes_scale:
         kwargs["scale"] = scale
     elif args.profile != "toy" or args.chunk_size is not None:
         print(f"note: {key} does not take a scale profile; ignoring "
               f"--profile/--chunk-size", file=sys.stderr)
+    wants_workers = (
+        args.workers is not None or args.resume
+        or args.checkpoint_dir is not None
+    )
+    if "workers" in params:
+        if wants_workers:
+            kwargs["workers"] = args.workers
+            kwargs["resume"] = args.resume
+            kwargs["checkpoint_dir"] = args.checkpoint_dir
+    elif wants_workers:
+        print(f"note: {key} has no run_system grid to shard; ignoring "
+              f"--workers/--resume/--checkpoint-dir", file=sys.stderr)
     rows = fn(**kwargs)
     title = f"{key} -- paper: {headline}"
     if takes_scale and scale.name != "toy":
@@ -204,6 +222,15 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="override the profile's memory-path tile "
                         "chunking (accesses per chunk)")
+    figure.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="shard the figure's grid across N worker "
+                        "processes (shared memmapped graphs)")
+    figure.add_argument("--resume", action="store_true",
+                        help="load finished cells from the checkpoint "
+                        "directory instead of re-running them")
+    figure.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="per-cell checkpoint directory (default "
+                        "with --resume: .repro_checkpoints)")
     figure.set_defaults(fn=_cmd_figure)
     micro = sub.add_parser("microbench", help="Fig. 9 strided sweep")
     micro.add_argument("--engine", action="store_true",

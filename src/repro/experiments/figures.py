@@ -14,20 +14,46 @@ from repro.accel.edge_centric import ECConventionalSystem, ECPiccoloSystem
 from repro.accel.pipeline import PipelineConfig
 from repro.accel.systems import SYSTEM_ORDER, make_system
 from repro.algorithms import ALGORITHM_ORDER
-from repro.cache.fine8b import EightByteLineCache
-from repro.cache.sectored import SectoredCache
-from repro.cache.variants import AmoebaCache, GraphfireCache, ScrabbleCache
-from repro.core.piccolo_cache import PiccoloCache
+from repro.cache.variants import FIG11_DESIGNS, fig11_cache_factory
 from repro.dram.spec import DEVICES, DRAMConfig
 from repro.energy.accel_energy import system_energy
 from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
-from repro.experiments.runner import run_system
+from repro.experiments.runner import CellSpec, run_system
 from repro.graph.datasets import REAL_WORLD, SYNTHETIC, load_dataset
 from repro.olap.queries import query_speedups
 from repro.utils.stats import geometric_mean
 from repro.validate import microbench
 
 BASELINE = "GraphDyns (Cache)"
+
+
+def _sweep(
+    specs: list[CellSpec],
+    *,
+    workers: int | None,
+    resume: bool,
+    checkpoint_dir=None,
+) -> None:
+    """Pre-run a figure's grid through the parallel sweep orchestrator.
+
+    Every figure keeps its serial row-building loop (the plotting order
+    and derived columns live there); this helper runs the same cells
+    first -- sharded across workers and/or restored from checkpoints --
+    and installs the results into the runner memo, so the serial loop
+    becomes pure memo lookups.  Results are bit-identical either way
+    because workers run exactly the same resolved cells.
+    """
+    if not specs:
+        return
+    if (workers or 0) <= 1 and not resume and checkpoint_dir is None:
+        return
+    from repro.experiments import parallel
+
+    if resume and checkpoint_dir is None:
+        checkpoint_dir = parallel.DEFAULT_CHECKPOINT_DIR
+    parallel.run_cells(
+        specs, workers=workers, resume=resume, checkpoint_dir=checkpoint_dir
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -89,7 +115,19 @@ def figure_10(
     algorithms: Sequence[str] = ALGORITHM_ORDER,
     systems: Sequence[str] = SYSTEM_ORDER,
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
+    _sweep(
+        [
+            CellSpec(system=s, algorithm=a, dataset=d, scale=scale)
+            for a in algorithms for d in datasets
+            for s in dict.fromkeys((BASELINE, *systems))
+        ],
+        workers=workers, resume=resume, checkpoint_dir=checkpoint_dir,
+    )
     rows = []
     speedups_by_system: dict[str, list[float]] = {s: [] for s in systems}
     for algorithm in algorithms:
@@ -127,37 +165,52 @@ def figure_10(
 # ---------------------------------------------------------------------------
 # Fig. 11 -- fine-grained cache designs on top of Piccolo-FIM
 # ---------------------------------------------------------------------------
+#: Fig. 11 design name -> ``(size, scale) -> cache``, derived from the
+#: single-source registry (:data:`repro.cache.variants.FIG11_DESIGNS`);
+#: the tuple order is the figure's plotting order.
 CACHE_DESIGNS = {
-    "Sectored": lambda size, scale: SectoredCache(size, ways=scale.cache_ways),
-    "Amoeba": lambda size, scale: AmoebaCache(size, ways=scale.cache_ways),
-    "Scrabble": lambda size, scale: ScrabbleCache(size, ways=scale.cache_ways),
-    "Graphfire": lambda size, scale: GraphfireCache(size, ways=scale.cache_ways),
-    "Piccolo (LRU)": lambda size, scale: PiccoloCache(
-        size, ways=scale.cache_ways, fg_tag_bits=scale.fg_tag_bits, policy="lru"
-    ),
-    "Piccolo (RRIP)": lambda size, scale: PiccoloCache(
-        size, ways=scale.cache_ways, fg_tag_bits=scale.fg_tag_bits, policy="rrip"
-    ),
-    "8B-Line": lambda size, scale: EightByteLineCache(size, ways=scale.cache_ways),
+    design: (
+        lambda size, scale, _d=design: fig11_cache_factory(
+            _d, ways=scale.cache_ways, fg_tag_bits=scale.fg_tag_bits
+        )(size)
+    )
+    for design in FIG11_DESIGNS
 }
 
 
 def figure_11(
     datasets: Sequence[str] = REAL_WORLD,
     algorithms: Sequence[str] = ALGORITHM_ORDER,
-    designs: Iterable[str] = tuple(CACHE_DESIGNS),
+    designs: Iterable[str] = FIG11_DESIGNS,
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
+    designs = tuple(designs)
+    _sweep(
+        [
+            CellSpec(system=BASELINE, algorithm=a, dataset=d, scale=scale)
+            for a in algorithms for d in datasets
+        ] + [
+            CellSpec(
+                system="Piccolo", algorithm=a, dataset=d, scale=scale,
+                cache_design=design,
+            )
+            for a in algorithms for d in datasets for design in designs
+        ],
+        workers=workers, resume=resume, checkpoint_dir=checkpoint_dir,
+    )
     rows = []
     speedups: dict[str, list[float]] = {d: [] for d in designs}
     for algorithm in algorithms:
         for dataset in datasets:
             base = run_system(BASELINE, algorithm, dataset, scale=scale)
             for design in designs:
-                factory = CACHE_DESIGNS[design]
                 result = run_system(
                     "Piccolo", algorithm, dataset, scale=scale,
-                    cache_factory=lambda size, _f=factory: _f(size, scale),
+                    cache_design=design,
                 )
                 speedup = base.total_ns / result.total_ns
                 speedups[design].append(speedup)
@@ -188,7 +241,19 @@ def figure_12(
     datasets: Sequence[str] = REAL_WORLD,
     algorithms: Sequence[str] = ALGORITHM_ORDER,
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
+    _sweep(
+        [
+            CellSpec(system=s, algorithm=a, dataset=d, scale=scale)
+            for a in algorithms for d in datasets
+            for s in (BASELINE, "Piccolo")
+        ],
+        workers=workers, resume=resume, checkpoint_dir=checkpoint_dir,
+    )
     rows = []
     for algorithm in algorithms:
         for dataset in datasets:
@@ -219,7 +284,18 @@ def figure_13(
     algorithms: Sequence[str] = ALGORITHM_ORDER,
     systems: Sequence[str] = (BASELINE, "PIM", "Piccolo"),
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
+    _sweep(
+        [
+            CellSpec(system=s, algorithm=a, dataset=d, scale=scale)
+            for a in algorithms for d in datasets for s in systems
+        ],
+        workers=workers, resume=resume, checkpoint_dir=checkpoint_dir,
+    )
     rows = []
     for algorithm in algorithms:
         for dataset in datasets:
@@ -244,7 +320,19 @@ def figure_14(
     datasets: Sequence[str] = REAL_WORLD,
     algorithms: Sequence[str] = ALGORITHM_ORDER,
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
+    _sweep(
+        [
+            CellSpec(system=s, algorithm=a, dataset=d, scale=scale)
+            for a in algorithms for d in datasets
+            for s in (BASELINE, "Piccolo")
+        ],
+        workers=workers, resume=resume, checkpoint_dir=checkpoint_dir,
+    )
     rows = []
     config = scale.dram()
     for algorithm in algorithms:
@@ -284,7 +372,24 @@ def figure_15(
     algorithms: Sequence[str] = ALGORITHM_ORDER,
     dataset: str = "SW",
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
+    _sweep(
+        [
+            CellSpec(
+                system=s, algorithm=a, dataset=dataset, scale=scale,
+                dram_config=DRAMConfig(
+                    spec=DEVICES[device], channels=1, ranks=4
+                ),
+            )
+            for a in algorithms for _, device in MEMORY_TYPES
+            for s in (BASELINE, "Piccolo")
+        ],
+        workers=workers, resume=resume, checkpoint_dir=checkpoint_dir,
+    )
     rows = []
     for algorithm in algorithms:
         for label, device in MEMORY_TYPES:
@@ -312,7 +417,26 @@ def figure_16(
     algorithms: Sequence[str] = ALGORITHM_ORDER,
     dataset: str = "SW",
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
+    _sweep(
+        [
+            CellSpec(
+                system=s, algorithm=a, dataset=dataset, scale=scale,
+                dram_config=DRAMConfig(
+                    spec=DEVICES["DDR4_2400_x16"],
+                    channels=channels, ranks=ranks,
+                ),
+            )
+            for a in algorithms
+            for channels in (1, 2) for ranks in (1, 2, 4)
+            for s in (BASELINE, "Piccolo")
+        ],
+        workers=workers, resume=resume, checkpoint_dir=checkpoint_dir,
+    )
     rows = []
     for algorithm in algorithms:
         for channels in (1, 2):
@@ -346,7 +470,22 @@ def figure_17(
     dataset: str = "SW",
     scales: Sequence[int] = (1, 2, 4, 8, 16),
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
+    _sweep(
+        [
+            CellSpec(
+                system=s, algorithm=a, dataset=dataset, scale=scale,
+                tile_scale=scale_factor,
+            )
+            for a in algorithms for scale_factor in scales
+            for s in (BASELINE, "Piccolo")
+        ],
+        workers=workers, resume=resume, checkpoint_dir=checkpoint_dir,
+    )
     rows = []
     for algorithm in algorithms:
         base_ns = None
@@ -378,7 +517,18 @@ def figure_18(
         "GraphDyns (SPM)", BASELINE, "NMP", "PIM", "Piccolo",
     ),
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
+    _sweep(
+        [
+            CellSpec(system=s, algorithm="PR", dataset=d, scale=scale)
+            for d in datasets for s in dict.fromkeys((BASELINE, *systems))
+        ],
+        workers=workers, resume=resume, checkpoint_dir=checkpoint_dir,
+    )
     rows = []
     for dataset in datasets:
         base = run_system(BASELINE, "PR", dataset, scale=scale)
@@ -403,7 +553,21 @@ def figure_18(
 def figure_19a(
     datasets: Sequence[str] = REAL_WORLD,
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
+    # Only the vertex-centric half of the grid goes through run_system;
+    # the edge-centric systems are constructed inline below and run
+    # serially either way.
+    _sweep(
+        [
+            CellSpec(system=s, algorithm="PR", dataset=d, scale=scale)
+            for d in datasets for s in (BASELINE, "Piccolo")
+        ],
+        workers=workers, resume=resume, checkpoint_dir=checkpoint_dir,
+    )
     rows = []
     for dataset in datasets:
         graph = load_dataset(dataset, scale.scale_shift)
@@ -453,12 +617,32 @@ def figure_20a(
     algorithms: Sequence[str] = ALGORITHM_ORDER,
     dataset: str = "SW",
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
-    rows = []
     cases = (
         ("x4", DEVICES["DDR4_2400_x4"], {"offset_bits": 11}),
         ("HBM", DEVICES["HBM2_2000"], {"long_burst_fim": True}),
     )
+    specs = []
+    for algorithm in algorithms:
+        for _, device, enhancement in cases:
+            base_cfg = DRAMConfig(spec=device, channels=1, ranks=4)
+            enh_cfg = DRAMConfig(spec=device, channels=1, ranks=4,
+                                 **enhancement)
+            specs += [
+                CellSpec(system=BASELINE, algorithm=algorithm,
+                         dataset=dataset, scale=scale, dram_config=base_cfg),
+                CellSpec(system="Piccolo", algorithm=algorithm,
+                         dataset=dataset, scale=scale, dram_config=base_cfg),
+                CellSpec(system="Piccolo", algorithm=algorithm,
+                         dataset=dataset, scale=scale, dram_config=enh_cfg),
+            ]
+    _sweep(specs, workers=workers, resume=resume,
+           checkpoint_dir=checkpoint_dir)
+    rows = []
     for algorithm in algorithms:
         for label, device, enhancement in cases:
             base_cfg = DRAMConfig(spec=device, channels=1, ranks=4)
@@ -489,7 +673,20 @@ def figure_20a(
 def figure_20b(
     datasets: Sequence[str] = REAL_WORLD,
     scale: ExperimentScale = DEFAULT_SCALE,
+    *,
+    workers: int | None = None,
+    resume: bool = False,
+    checkpoint_dir=None,
 ) -> list[dict]:
+    _sweep(
+        [
+            CellSpec(system="Piccolo", algorithm="PR", dataset=d,
+                     scale=scale, pipeline=pipe)
+            for d in datasets
+            for pipe in (None, PipelineConfig(prefetch=False))
+        ],
+        workers=workers, resume=resume, checkpoint_dir=checkpoint_dir,
+    )
     rows = []
     for dataset in datasets:
         with_pf = run_system("Piccolo", "PR", dataset, scale=scale)

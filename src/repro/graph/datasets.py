@@ -188,6 +188,87 @@ class _DatasetCache:
 
 _CACHE = _DatasetCache(DATASET_CACHE_BUDGET_BYTES)
 
+#: memmap-attached graphs by (name, shift) -- the worker-side graph
+#: source of the parallel sweep runner.  Attached graphs are served
+#: before the generate-and-cache path and are never evicted (they hold
+#: file mappings, not private pages).
+_ATTACHED: dict[tuple[str, int], CSRGraph] = {}
+
+#: when True, a load that would *generate* a graph raises instead.
+#: Pool workers set this: every dataset a sweep needs was materialised
+#: once by the parent, so a worker-side generation is always a bug (it
+#: would silently multiply million-edge RMAT builds by the worker count).
+_REQUIRE_ATTACHED = False
+
+
+def resolve_shift(name: str, scale_shift: int | None = None) -> int:
+    """The actual 2**shift reduction a load of ``name`` would use
+    (``None`` resolves to the dataset spec's default)."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    shift = spec.scale_shift if scale_shift is None else scale_shift
+    if shift < 0:
+        raise ValueError("scale_shift must be >= 0")
+    return shift
+
+
+def attach_memmap(
+    name: str, scale_shift: int | None, path
+) -> CSRGraph:
+    """Serve ``load_dataset(name, shift)`` from a memmap directory.
+
+    Used by pool workers: the parent materialises each graph once
+    (:func:`materialize_memmap`) and ships the paths; workers attach
+    read-only, so the machine holds one copy of the edge arrays no
+    matter how many workers run.
+    """
+    from repro.graph import graphio
+
+    shift = resolve_shift(name, scale_shift)
+    graph = graphio.from_memmap(path)
+    _ATTACHED[(name, shift)] = graph
+    return graph
+
+
+def detach_memmaps() -> None:
+    """Drop every memmap attachment (tests / sweep teardown)."""
+    _ATTACHED.clear()
+
+
+def set_require_attached(flag: bool) -> bool:
+    """Toggle the no-generation guard; returns the previous setting."""
+    global _REQUIRE_ATTACHED
+    previous = _REQUIRE_ATTACHED
+    _REQUIRE_ATTACHED = bool(flag)
+    return previous
+
+
+def materialize_memmap(name: str, scale_shift: int | None, root) -> "os.PathLike":
+    """Ensure a memmap directory for (dataset, shift) exists under
+    ``root`` and return its path.
+
+    Builds the graph (through the normal memoised :func:`load_dataset`
+    path, so a sweep generates each graph exactly once) only when the
+    directory is missing; an existing directory is reused as-is, which
+    is what lets resumed sweeps and repeated runs skip generation
+    entirely.
+    """
+    import os as _os
+    import pathlib
+
+    from repro.graph import graphio
+
+    shift = resolve_shift(name, scale_shift)
+    target = pathlib.Path(_os.fspath(root)) / f"{name}-s{shift}"
+    if graphio._memmap_dir_valid(target):
+        return target
+    graph = load_dataset(name, shift)
+    return graphio.to_memmap(graph, target)
+
 
 def load_dataset(name: str, scale_shift: int | None = None) -> CSRGraph:
     """Build (and memoise) the scaled stand-in for a paper dataset.
@@ -205,19 +286,21 @@ def load_dataset(name: str, scale_shift: int | None = None) -> CSRGraph:
             larger shifts mean smaller graphs.  ``None`` uses the spec
             default.
     """
-    try:
-        spec = DATASETS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
-        ) from None
-    shift = spec.scale_shift if scale_shift is None else scale_shift
-    if shift < 0:
-        raise ValueError("scale_shift must be >= 0")
+    shift = resolve_shift(name, scale_shift)
     key = (name, shift)
+    attached = _ATTACHED.get(key)
+    if attached is not None:
+        return attached
     graph = _CACHE.get(key)
     if graph is None:
-        graph = spec.build(shift)
+        if _REQUIRE_ATTACHED:
+            raise RuntimeError(
+                f"dataset {name!r} (shift {shift}) is not memmap-attached "
+                f"and generation is disabled in this process; the sweep "
+                f"parent must materialise it (materialize_memmap) before "
+                f"workers run"
+            )
+        graph = DATASETS[name].build(shift)
         _CACHE.put(key, graph)
     return graph
 

@@ -1,17 +1,26 @@
 """Edge-list I/O for CSR graphs.
 
 Supports the plain text edge-list format used by SNAP/network-repository
-(``src dst [weight]`` per line, ``#`` comments) and a fast NumPy ``.npz``
-container for round-tripping generated datasets.
+(``src dst [weight]`` per line, ``#`` comments), a fast NumPy ``.npz``
+container for round-tripping generated datasets, and a memmappable
+directory layout (:func:`to_memmap` / :func:`from_memmap`) that lets
+many processes share one on-disk copy of a graph's arrays.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
+import shutil
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+
+#: format marker written into a memmap directory's meta.json
+MEMMAP_FORMAT = 1
+_MEMMAP_ARRAYS = ("indptr", "indices", "weights")
 
 
 def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
@@ -34,6 +43,83 @@ def load_npz(path: str | os.PathLike) -> CSRGraph:
             weights=data["weights"],
             name=str(data["name"]),
         )
+
+
+def to_memmap(graph: CSRGraph, directory: str | os.PathLike) -> pathlib.Path:
+    """Write a graph as uncompressed per-array ``.npy`` files.
+
+    The directory (``indptr.npy`` / ``indices.npy`` / ``weights.npy`` +
+    ``meta.json``) is the shared-memory layout of the parallel sweep
+    runner: the parent materialises a dataset once and every pool worker
+    attaches the same files read-only via :func:`from_memmap`, so a
+    machine holds one copy of the edge arrays (in page cache) however
+    many workers simulate against it.
+
+    The write is atomic at directory granularity: arrays land in a
+    temporary sibling that is renamed into place, so a killed sweep
+    never leaves a half-written graph behind.  If the target directory
+    already exists it is left untouched (first writer wins).
+    """
+    target = pathlib.Path(directory)
+    if target.exists():
+        return target
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.parent / f".{target.name}.tmp.{os.getpid()}"
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir()
+    try:
+        np.save(tmp / "indptr.npy", graph.indptr)
+        np.save(tmp / "indices.npy", graph.indices)
+        np.save(tmp / "weights.npy", graph.weights)
+        (tmp / "meta.json").write_text(
+            json.dumps({"format": MEMMAP_FORMAT, "name": graph.name})
+        )
+        try:
+            os.replace(tmp, target)
+        except OSError:
+            if not _memmap_dir_valid(target):
+                raise
+            shutil.rmtree(tmp)  # lost the race to a concurrent writer
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return target
+
+
+def _memmap_dir_valid(directory: pathlib.Path) -> bool:
+    """True when a memmap directory holds a complete record."""
+    if not (directory / "meta.json").is_file():
+        return False
+    try:
+        meta = json.loads((directory / "meta.json").read_text())
+    except (OSError, ValueError):
+        return False
+    if meta.get("format") != MEMMAP_FORMAT:
+        return False
+    return all((directory / f"{a}.npy").is_file() for a in _MEMMAP_ARRAYS)
+
+
+def from_memmap(directory: str | os.PathLike) -> CSRGraph:
+    """Attach a graph written by :func:`to_memmap`, read-only.
+
+    The arrays are ``numpy.memmap`` views (``mmap_mode="r"``): pages are
+    shared between every process mapping the same files, and writes
+    fault -- a simulation that mutated graph topology would crash
+    instead of silently diverging between workers.
+    """
+    directory = pathlib.Path(directory)
+    if not _memmap_dir_valid(directory):
+        raise FileNotFoundError(
+            f"{directory} is not a complete graph memmap directory"
+        )
+    meta = json.loads((directory / "meta.json").read_text())
+    return CSRGraph(
+        indptr=np.load(directory / "indptr.npy", mmap_mode="r"),
+        indices=np.load(directory / "indices.npy", mmap_mode="r"),
+        weights=np.load(directory / "weights.npy", mmap_mode="r"),
+        name=str(meta.get("name", directory.name)),
+    )
 
 
 def load_edge_list(

@@ -72,6 +72,22 @@ class TestSpeedupTable:
         with pytest.raises(KeyError, match="missing baseline"):
             speedup_table(results)
 
+    def test_zero_time_baseline_raises(self):
+        results = {
+            ("GraphDyns (Cache)", "PR", "X"): self._fake("b", 0.0),
+            ("Piccolo", "PR", "X"): self._fake("p", 50.0),
+        }
+        with pytest.raises(ValueError, match="cannot be normalised"):
+            speedup_table(results)
+
+    def test_zero_time_result_raises(self):
+        results = {
+            ("GraphDyns (Cache)", "PR", "X"): self._fake("b", 100.0),
+            ("Piccolo", "PR", "X"): self._fake("p", 0.0),
+        }
+        with pytest.raises(ValueError, match="undefined"):
+            speedup_table(results)
+
     def test_geomean_by_system(self):
         table = {
             ("Piccolo", "PR", "X"): 2.0,

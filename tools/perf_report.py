@@ -52,6 +52,20 @@ reference are reported as ``no-baseline`` and do not fail the gate.
 ``--max-seconds`` / ``--max-rss-mb`` are absolute budgets (nightly
 paper-profile watchdog): exceed either and the run exits non-zero.
 
+``--workers N`` shards the run across worker processes through the
+parallel sweep orchestrator (shared memmapped graphs); with
+``--resume-from DIR`` cells already checkpointed under ``DIR`` are
+loaded instead of re-run (the sharded-nightly mode).  Checkpoint-loaded
+cells are *excluded* from the recorded times -- a trajectory point only
+ever contains real measurements.
+
+``--parallel`` times the worker-scaling benchmark instead of the cell
+grid: one fixed mid-profile Fig. 10 PR sweep (UU/SW x GraphDyns-Cache/
+Piccolo/NMP, 6 cells) run end-to-end at each worker count in
+``--worker-counts`` (default 1,2,4,8), recorded as trajectory cells
+``parallel/mid-fig10pr/w{N}``.  ``--check`` gates these cells like any
+other.
+
 Workload notes: BFS runs to frontier exhaustion; PR runs 12 identical
 power iterations (the figure harness caps PR at 3 purely for seed
 wall-clock reasons -- the paper itself runs up to 40, so a deeper run is
@@ -78,7 +92,12 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.cache.variants import FIG11_VARIANTS  # noqa: E402
 from repro.core import memory_path  # noqa: E402
 from repro.core.piccolo_cache import PiccoloCache  # noqa: E402
-from repro.experiments.runner import clear_result_cache, run_system  # noqa: E402
+from repro.experiments import parallel  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    CellSpec,
+    clear_result_cache,
+    run_system,
+)
 
 
 def _variant_cell(design):
@@ -134,8 +153,16 @@ PROFILE_CELLS = {
     "paper": [
         ("scale/paper/Piccolo/PR/SW", "Piccolo", "PR", "SW", None,
          {"_scale": "paper"}),
+        ("scale/paper/Piccolo/PR/UU", "Piccolo", "PR", "UU", None,
+         {"_scale": "paper"}),
     ],
 }
+
+#: the fixed ``--parallel`` worker-scaling sweep: the mid-profile
+#: Fig. 10 PR grid over the two fastest real-world datasets
+PARALLEL_SWEEP_SYSTEMS = ("GraphDyns (Cache)", "Piccolo", "NMP")
+PARALLEL_SWEEP_DATASETS = ("UU", "SW")
+PARALLEL_SWEEP_NAME = "parallel/mid-fig10pr"
 
 
 def _normalise(cells):
@@ -192,6 +219,81 @@ def run_suite(cells, repeats):
         )
         print(f"  {name:38s} {times[name]:8.3f} s", flush=True)
     return times
+
+
+def _cell_spec(row, algorithm, dataset, iters, kwargs):
+    """Translate a suite cell tuple into a picklable CellSpec."""
+    extra = dict(kwargs)
+    system = extra.pop("_system", row)
+    scale = extra.pop("_scale", "toy")
+    return CellSpec(
+        system=system,
+        algorithm=algorithm,
+        dataset=dataset,
+        scale=scale,
+        max_iterations=iters,
+        chunk_size=extra.pop("chunk_size", None),
+        cache_design=extra.pop("cache_design", None),
+        system_kwargs=tuple(sorted(extra.items())),
+    )
+
+
+def run_suite_sharded(cells, workers, resume_from):
+    """Run the suite through the parallel orchestrator.
+
+    Returns (times, loaded): per-cell wall-clock for cells that actually
+    ran (worker-reported, single-shot -- no best-of-repeats across
+    processes) and the names of cells served from checkpoints, which are
+    reported but kept out of the recorded times.
+    """
+    specs = [
+        _cell_spec(row, alg, ds, iters, kw)
+        for _, row, alg, ds, iters, kw in cells
+    ]
+    outcomes = parallel.run_cells(
+        specs,
+        workers=workers,
+        resume=resume_from is not None,
+        checkpoint_dir=resume_from,
+    )
+    times, loaded, rss = {}, [], {}
+    for (name, *_), outcome in zip(cells, outcomes):
+        if outcome.source == "checkpoint":
+            loaded.append(name)
+            print(f"  {name:38s} (from checkpoint)", flush=True)
+        else:
+            times[name] = round(outcome.seconds, 4)
+            rss[name] = round(outcome.rss_mb, 1)
+            print(f"  {name:38s} {times[name]:8.3f} s  "
+                  f"[{outcome.source}]", flush=True)
+    return times, loaded, rss
+
+
+def time_parallel_sweep(worker_counts, repeats, graph_dir):
+    """Wall-clock the fixed mid-profile sweep at each worker count."""
+    specs = [
+        CellSpec(system=system, algorithm="PR", dataset=dataset, scale="mid")
+        for system in PARALLEL_SWEEP_SYSTEMS
+        for dataset in PARALLEL_SWEEP_DATASETS
+    ]
+    times = {}
+    rss = {}
+    for workers in worker_counts:
+        name = f"{PARALLEL_SWEEP_NAME}/w{workers}"
+        best = math.inf
+        for _ in range(repeats):
+            clear_result_cache()
+            start = time.perf_counter()
+            outcomes = parallel.run_cells(
+                specs, workers=workers, graph_dir=graph_dir
+            )
+            best = min(best, time.perf_counter() - start)
+            rss[name] = parallel.sweep_rss_mb(outcomes)
+        times[name] = round(best, 4)
+        print(f"  {name:38s} {times[name]:8.3f} s  "
+              f"(max worker RSS {rss[name]['max_worker_rss_mb']} MB)",
+              flush=True)
+    return times, rss
 
 
 def row_totals(cells, times):
@@ -345,6 +447,36 @@ def main(argv=None) -> int:
         metavar="MB",
         help="absolute budget: fail if process peak RSS exceeds MB",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the cell grid across N worker processes (shared "
+        "memmapped graphs; per-cell times come from the workers)",
+    )
+    parser.add_argument(
+        "--resume-from",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="per-cell checkpoint directory: cells already recorded "
+        "there are loaded, everything else runs and is checkpointed "
+        "(sharded-nightly mode; implies a sharded run)",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="time the worker-scaling benchmark (the fixed mid-profile "
+        "Fig. 10 PR sweep at each --worker-counts count) instead of "
+        "the cell grid",
+    )
+    parser.add_argument(
+        "--worker-counts",
+        default="1,2,4,8",
+        metavar="LIST",
+        help="comma-separated worker counts for --parallel",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -354,9 +486,29 @@ def main(argv=None) -> int:
         parser.error("--check gates the batched trajectory, not scalar runs")
     if args.check_ratio <= 1.0:
         parser.error("--check-ratio must be > 1.0")
+    sharded = args.workers is not None or args.resume_from is not None
+    if args.scalar_baseline and (sharded or args.parallel):
+        # spawn workers would not inherit the parent's BATCHED_DEFAULT
+        # toggle and would silently time the batched engine
+        parser.error("--scalar-baseline only runs in-process (no "
+                     "--workers/--resume-from/--parallel)")
+    if args.parallel and (args.profile or sharded):
+        parser.error("--parallel is its own suite; it does not combine "
+                     "with --profile/--workers/--resume-from")
+    try:
+        worker_counts = [
+            int(c) for c in args.worker_counts.split(",") if c
+        ]
+    except ValueError:
+        parser.error(f"bad --worker-counts {args.worker_counts!r}")
+    if args.parallel and (not worker_counts
+                          or any(c < 1 for c in worker_counts)):
+        parser.error("--worker-counts must be positive integers")
 
     if args.profile:
         cells = _normalise(PROFILE_CELLS[args.profile])
+    elif args.parallel:
+        cells = []
     else:
         cells = _normalise(QUICK_CELLS if args.quick else FULL_CELLS)
     if args.chunk_size is not None:
@@ -364,7 +516,7 @@ def main(argv=None) -> int:
             (name, row, alg, ds, iters, {**kw, "chunk_size": args.chunk_size})
             for name, row, alg, ds, iters, kw in cells
         ]
-    if args.only:
+    if args.only and not args.parallel:
         prefixes = tuple(p for p in args.only.split(",") if p)
         cells = [c for c in cells if c[0].startswith(prefixes)]
         if not cells:
@@ -375,11 +527,32 @@ def main(argv=None) -> int:
     if args.check:
         args.no_write = True
     label = args.label or (
-        f"{mode}-{args.profile}" if args.profile else mode
+        "parallel" if args.parallel
+        else f"{mode}-{args.profile}" if args.profile else mode
     )
 
-    print(f"perf_report: mode={mode} repeats={args.repeats} cells={len(cells)}")
-    times = run_suite(cells, args.repeats)
+    loaded_cells: list[str] = []
+    parallel_rss: dict[str, dict] = {}
+    cell_rss: dict[str, float] = {}
+    if args.parallel:
+        print(f"perf_report: worker-scaling sweep, counts={worker_counts} "
+              f"repeats={args.repeats}")
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-graphs-") as gdir:
+            times, parallel_rss = time_parallel_sweep(
+                worker_counts, args.repeats, gdir
+            )
+    elif sharded:
+        print(f"perf_report: mode={mode} workers={args.workers or 1} "
+              f"cells={len(cells)} (sharded; single-shot timings)")
+        times, loaded_cells, cell_rss = run_suite_sharded(
+            cells, args.workers, args.resume_from
+        )
+    else:
+        print(f"perf_report: mode={mode} repeats={args.repeats} "
+              f"cells={len(cells)}")
+        times = run_suite(cells, args.repeats)
     import resource
 
     # ru_maxrss is the process high-water mark (KB on Linux): an upper
@@ -403,6 +576,17 @@ def main(argv=None) -> int:
         print(f"peak RSS: {peak_rss_mb} MB")
     if args.chunk_size is not None:
         point["chunk_size"] = args.chunk_size
+    if sharded:
+        point["workers"] = args.workers or 1
+        if cell_rss:
+            point["cell_rss_mb"] = cell_rss
+        if loaded_cells:
+            print(f"{len(loaded_cells)} cell(s) served from checkpoints "
+                  f"(kept out of the recorded times): "
+                  + ", ".join(loaded_cells))
+    if args.parallel:
+        point["worker_counts"] = worker_counts
+        point["parallel_rss"] = parallel_rss
 
     shared = [c for c in cells if c[0] in base_times and c[0] in times]
     if mode in BASELINE_MODES:
@@ -448,6 +632,17 @@ def main(argv=None) -> int:
                     "max_iterations": iters,
                 },
             )
+        if args.parallel:
+            for name in times:
+                report["workloads"].setdefault(
+                    name,
+                    {
+                        "row": "parallel-sweep",
+                        "algorithm": "PR",
+                        "dataset": "+".join(PARALLEL_SWEEP_DATASETS),
+                        "max_iterations": None,
+                    },
+                )
         report["trajectory"].append(point)
         args.json.write_text(json.dumps(report, indent=1) + "\n")
         print(f"\nappended trajectory point {label!r} to {args.json}")
@@ -461,6 +656,14 @@ def main(argv=None) -> int:
     if not gating:
         return 0
     total_best = round(sum(times.values()), 3)
+    # workers are separate processes: the RSS budget must see their
+    # high-water marks too, not just the parent's
+    worker_peak = max(
+        [*cell_rss.values()]
+        + [r["max_worker_rss_mb"] for r in parallel_rss.values()],
+        default=0.0,
+    )
+    gate_rss_mb = max(peak_rss_mb, worker_peak)
     verdict = {
         "mode": mode,
         "profile": args.profile,
@@ -468,7 +671,7 @@ def main(argv=None) -> int:
         "timestamp": point["timestamp"],
         "times": times,
         "total_best_seconds": total_best,
-        "peak_rss_mb": peak_rss_mb,
+        "peak_rss_mb": gate_rss_mb,
         "ok": True,
         "failures": [],
     }
@@ -498,10 +701,10 @@ def main(argv=None) -> int:
         verdict["failures"].append(
             f"wall-clock {total_best}s > budget {args.max_seconds}s"
         )
-    if args.max_rss_mb is not None and peak_rss_mb > args.max_rss_mb:
+    if args.max_rss_mb is not None and gate_rss_mb > args.max_rss_mb:
         verdict["ok"] = False
         verdict["failures"].append(
-            f"peak RSS {peak_rss_mb} MB > budget {args.max_rss_mb} MB"
+            f"peak RSS {gate_rss_mb} MB > budget {args.max_rss_mb} MB"
         )
     report_out = args.report_out or (
         args.json.parent / "perf_check_report.json"
@@ -509,7 +712,7 @@ def main(argv=None) -> int:
     report_out.write_text(json.dumps(verdict, indent=1) + "\n")
     print(
         f"gate verdict: {'OK' if verdict['ok'] else 'FAIL'} "
-        f"(total {total_best}s, peak RSS {peak_rss_mb} MB) -> {report_out}"
+        f"(total {total_best}s, peak RSS {gate_rss_mb} MB) -> {report_out}"
     )
     if not verdict["ok"]:
         for failure in verdict["failures"]:

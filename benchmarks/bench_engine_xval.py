@@ -7,7 +7,13 @@ model.  The analytic model carries the figure sweeps; this bench is the
 evidence that its shortcuts do not bend the headline ratios.
 """
 
-from repro.dram.engine.xval import microbench_speedups
+import time
+
+from repro.dram.engine.xval import (
+    ENGINE_XVAL_WORKLOADS,
+    microbench_speedups,
+    run_engine_xval_cell,
+)
 from repro.dram.spec import default_config
 
 
@@ -38,3 +44,29 @@ def test_engine_xval(run_figure):
     for row in rows:
         assert 0.4 < row["conv_vs_analytic"] < 3.0
         assert 0.4 < row["fim_vs_analytic"] < 3.0
+
+
+def test_engine_xval_mid_profile_smoke():
+    """Tier-1 smoke for the ``engine-xval/mid`` trajectory cells.
+
+    The whole mid grid must fit a CI wall budget on the batched engine,
+    every cell's engine/analytic ratio must sit in the stable band, and
+    the headline cell must agree bit-for-bit with the scalar oracle
+    (identical cycle count, command count and duration -- the cheap
+    always-on shadow of the full differential suite).
+    """
+    start = time.perf_counter()
+    results = {
+        workload: run_engine_xval_cell("mid", workload)
+        for workload in ENGINE_XVAL_WORKLOADS
+    }
+    elapsed = time.perf_counter() - start
+    assert elapsed < 30.0, f"mid engine-xval grid took {elapsed:.1f}s"
+    for workload, result in results.items():
+        assert 0.4 < result["ratio"] < 3.0, (workload, result["ratio"])
+        assert result["commands"] > 0
+    scalar = run_engine_xval_cell("mid", "conv-hit", engine_mode="scalar")
+    batched = results["conv-hit"]
+    assert scalar["cycles"] == batched["cycles"]
+    assert scalar["commands"] == batched["commands"]
+    assert scalar["engine_ns"] == batched["engine_ns"]

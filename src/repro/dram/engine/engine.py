@@ -6,6 +6,14 @@ the clock jumps straight to the next cycle at which any command can
 issue.  The run finishes when every request has completed; total time is
 the slowest channel's finish cycle.
 
+Two interchangeable controller implementations back :class:`DRAMEngine`:
+the original per-command scalar walk (``mode="scalar"``, kept as the
+bit-exactness oracle) and the vectorized columnar engine
+(``mode="batched"``, the default) from
+:mod:`repro.dram.engine.batched`, which also fast-forwards the clock
+over stretches where the scalar walk would creep cycle by cycle.  Both
+produce bit-identical traces, stats and cycle counts.
+
 This engine is the high-fidelity counterpart of the fast phase
 evaluator in :mod:`repro.dram.system`; `repro.dram.engine.xval`
 cross-validates the two on shared workloads.
@@ -18,8 +26,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dram.address import AddressMapper
+from repro.dram.engine.batched import BatchedChannelController
 from repro.dram.engine.commands import (
     Command,
+    CommandColumns,
     EngineStats,
     Request,
     RequestType,
@@ -30,6 +40,9 @@ from repro.dram.spec import DRAMConfig
 
 #: safety valve: one channel may not run longer than this many cycles
 MAX_CYCLES = 1 << 34
+
+#: controller implementations selectable on DRAMEngine
+ENGINE_MODES = ("batched", "scalar")
 
 
 @dataclass
@@ -42,6 +55,8 @@ class EngineResult:
     requests: list[Request]
     #: per-channel command traces (sorted by cycle within a channel)
     traces: list[list[Command]] = field(default_factory=list)
+    #: per-channel columnar traces (batched runs; None for scalar runs)
+    trace_columns: list[CommandColumns] | None = None
 
     @property
     def time_ns(self) -> float:
@@ -68,12 +83,18 @@ class DRAMEngine:
         config: DRAMConfig,
         queue_depth: int = 32,
         refresh_enabled: bool = True,
+        mode: str = "batched",
     ) -> None:
+        if mode not in ENGINE_MODES:
+            raise ValueError(
+                f"mode must be one of {ENGINE_MODES}, got {mode!r}"
+            )
         self.config = config
         self.timing = timing_from_spec(config.spec)
         self.mapper = AddressMapper(config)
         self.queue_depth = queue_depth
         self.refresh_enabled = refresh_enabled
+        self.mode = mode
 
     # ------------------------------------------------------------------
     def requests_from_addresses(
@@ -116,8 +137,10 @@ class DRAMEngine:
             channels: per-request channel index; defaults to channel 0.
         """
         n_channels = self.config.channels
+        batched = self.mode == "batched"
+        cls = BatchedChannelController if batched else ChannelController
         controllers = [
-            ChannelController(
+            cls(
                 self.timing,
                 ranks=self.config.ranks,
                 channel=c,
@@ -137,19 +160,30 @@ class DRAMEngine:
         finish = 0
         stats = EngineStats()
         for controller, queue in zip(controllers, per_channel):
-            last = self._run_channel(controller, queue)
+            if batched:
+                last = self._run_channel_batched(controller, queue)
+            else:
+                last = self._run_channel(controller, queue)
             finish = max(finish, last)
             self._merge_stats(stats, controller.stats)
             stats.data_bus_clocks[controller.channel] = (
-                controller.bus.busy_clocks
+                controller.bus_busy_clocks if batched
+                else controller.bus.busy_clocks
             )
         stats.cycles = finish
+        if batched:
+            columns = [c.trace_columns() for c in controllers]
+            traces = [cols.to_commands() for cols in columns]
+        else:
+            columns = None
+            traces = [c.trace for c in controllers]
         return EngineResult(
             timing=self.timing,
             cycles=finish,
             stats=stats,
             requests=requests,
-            traces=[c.trace for c in controllers],
+            traces=traces,
+            trace_columns=columns,
         )
 
     # ------------------------------------------------------------------
@@ -177,6 +211,87 @@ class DRAMEngine:
                 if jump <= now:
                     jump = now + 1
                 now = jump
+            if now > MAX_CYCLES:
+                raise RuntimeError("engine exceeded cycle budget")
+        for request in controller.finished:
+            finish = max(finish, request.finish_cycle)
+        return finish
+
+    # ------------------------------------------------------------------
+    def _run_channel_batched(self, controller: BatchedChannelController,
+                             queue: list[Request]) -> int:
+        """Batched-mode channel driver with event fast-forwarding.
+
+        Visits exactly the decision points of the scalar walk that can
+        change its choice: between two state changes the candidate set
+        is constant except at refresh-deadline crossings, so when the
+        chosen command lies in the future the clock jumps straight to
+        it -- unless an arrival the scalar walk would stop at, or a
+        refresh deadline it would creep onto, comes first.
+        """
+        queue = sorted(queue, key=lambda r: r.arrival)
+        n_queue = len(queue)
+        next_new = 0
+        now = 0
+        finish = 0
+        while next_new < n_queue or controller.pending:
+            while (next_new < n_queue
+                    and queue[next_new].arrival <= now
+                    and controller.can_accept(queue[next_new].kind)):
+                controller.enqueue(queue[next_new])
+                next_new += 1
+            while True:
+                cycle, action = controller.next_action(now)
+                if action is None:
+                    # Idle: jump to the next arrival or refresh deadline.
+                    jump = cycle
+                    if next_new < n_queue:
+                        jump = min(jump,
+                                   max(now + 1, queue[next_new].arrival))
+                    if jump <= now:
+                        jump = now + 1
+                    now = jump
+                    break
+                if cycle > now:
+                    arrival = (queue[next_new].arrival
+                               if next_new < n_queue else None)
+                    if arrival is not None and arrival <= now:
+                        if controller.can_accept(queue[next_new].kind):
+                            # A fim_start freed queue room mid-scan: the
+                            # scalar walk admits the waiting head at its
+                            # very next step.
+                            now = now + 1
+                            break
+                        # A capacity-blocked head: the scalar walk creeps
+                        # cycle by cycle, so a refresh deadline inside
+                        # the jump is seen exactly when it falls due.
+                        crossing = controller.next_refresh_crossing(
+                            now, cycle)
+                        if crossing is not None:
+                            now = crossing
+                            break
+                    elif arrival is not None and arrival <= cycle:
+                        # The scalar walk stops at the arrival, admits,
+                        # and rescans there.
+                        now = arrival
+                        break
+                    else:
+                        # Single jump to the command cycle; a refresh
+                        # deadline crossed on the way joins the
+                        # candidate set there, so rescan at the target.
+                        if controller.next_refresh_crossing(
+                                now, cycle) is not None:
+                            now = cycle
+                            break
+                controller.execute(action, cycle)
+                if action[0] == "fim_start":
+                    # Starting a program consumes no command-bus slot;
+                    # the scalar step recurses at the same cycle with
+                    # no admission in between.
+                    now = cycle
+                    continue
+                now = cycle + 1
+                break
             if now > MAX_CYCLES:
                 raise RuntimeError("engine exceeded cycle budget")
         for request in controller.finished:

@@ -1,0 +1,174 @@
+"""Adversarial checker tests: corrupt *real* traces, expect rejection.
+
+:mod:`tests.test_engine_checker` hand-builds small illegal streams; this
+module instead takes protocol-clean traces produced by the engine and
+injects targeted corruptions -- commands shifted to break tRP/tRC/tCCD,
+data-bus overlaps, deleted ACT/PRE commands, reordered slots -- and the
+independent :class:`TraceChecker` must reject every one.  This is the
+evidence that the differential suite's "checker accepts the batched
+trace" assertion has teeth.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dram.engine import DRAMEngine
+from repro.dram.engine.checker import EngineProtocolViolation, TraceChecker
+from repro.dram.engine.commands import CommandType, Request, RequestType
+from repro.dram.spec import DRAMConfig, default_config
+
+
+@pytest.fixture(scope="module")
+def config():
+    return dataclasses.replace(default_config(), channels=1, ranks=1)
+
+
+def _run(config, requests, refresh=False):
+    engine = DRAMEngine(config, refresh_enabled=refresh)
+    result = engine.run(requests)
+    return result.traces[0], engine.timing
+
+
+def _reads(rows_cols):
+    return [
+        Request(kind=RequestType.READ, rank=0, bank=0, row=row, column=col)
+        for row, col in rows_cols
+    ]
+
+
+def _replay(timing, config, trace):
+    TraceChecker(timing, ranks=config.ranks).check_trace(trace)
+
+
+@pytest.fixture(scope="module")
+def episode(config):
+    """ACT RD PRE ACT RD: one same-bank row conflict."""
+    return _run(config, _reads([(0, 0), (1, 0)]))
+
+
+@pytest.fixture(scope="module")
+def stream(config):
+    """ACT RD RD RD RD: one open-row burst stream."""
+    return _run(config, _reads([(0, col) for col in (0, 8, 16, 24)]))
+
+
+def test_fixtures_replay_clean(config, episode, stream):
+    for trace, timing in (episode, stream):
+        _replay(timing, config, trace)
+
+
+def test_shifted_act_breaks_trp(config, episode):
+    trace, timing = episode
+    trace = list(trace)
+    pre_at = next(i for i, c in enumerate(trace)
+                  if c.kind is CommandType.PRE)
+    act_at = next(i for i in range(pre_at, len(trace))
+                  if trace[i].kind is CommandType.ACT)
+    trace[act_at] = dataclasses.replace(
+        trace[act_at], cycle=trace[pre_at].cycle + timing.tRP - 1
+    )
+    with pytest.raises(EngineProtocolViolation, match="tRP"):
+        _replay(timing, config, trace)
+
+
+def test_shifted_act_breaks_trc(config, episode):
+    trace, timing = episode
+    trace = list(trace)
+    first_act = trace[0]
+    assert first_act.kind is CommandType.ACT
+    act_at = next(i for i in range(1, len(trace))
+                  if trace[i].kind is CommandType.ACT)
+    # Earlier than any row-cycle budget allows: whichever of the
+    # tRP/tRC family fires first, the checker must reject the gap.
+    trace[act_at] = dataclasses.replace(
+        trace[act_at], cycle=first_act.cycle + timing.tRC - 1
+    )
+    trace.sort(key=lambda c: c.cycle)
+    with pytest.raises(EngineProtocolViolation, match="tR"):
+        _replay(timing, config, trace)
+
+
+def test_shifted_read_breaks_tccd(config, stream):
+    trace, timing = stream
+    trace = list(trace)
+    rds = [i for i, c in enumerate(trace) if c.kind is CommandType.RD]
+    second = trace[rds[1]]
+    trace[rds[1]] = dataclasses.replace(
+        second, cycle=trace[rds[0]].cycle + 1
+    )
+    with pytest.raises(EngineProtocolViolation, match="tCCD"):
+        _replay(timing, config, trace)
+
+
+def test_stretched_data_overlaps_bus(config, stream):
+    trace, timing = stream
+    trace = list(trace)
+    rds = [i for i, c in enumerate(trace) if c.kind is CommandType.RD]
+    # Lengthen the first read's transfer past the second's data start.
+    first = trace[rds[0]]
+    trace[rds[0]] = dataclasses.replace(
+        first, data_clocks=first.data_clocks + timing.tCCD_L + timing.tBL
+    )
+    with pytest.raises(EngineProtocolViolation, match="data bus overlap"):
+        _replay(timing, config, trace)
+
+
+def test_early_data_start_rejected(config, stream):
+    trace, timing = stream
+    trace = list(trace)
+    rds = [i for i, c in enumerate(trace) if c.kind is CommandType.RD]
+    first = trace[rds[0]]
+    trace[rds[0]] = dataclasses.replace(
+        first, data_start=first.cycle + timing.tCL - 1
+    )
+    with pytest.raises(EngineProtocolViolation, match="CAS latency"):
+        _replay(timing, config, trace)
+
+
+def test_deleted_act_orphans_columns(config, stream):
+    trace, timing = stream
+    assert trace[0].kind is CommandType.ACT
+    with pytest.raises(EngineProtocolViolation, match="no open row"):
+        _replay(timing, config, trace[1:])
+
+
+def test_deleted_pre_leaves_bank_open(config, episode):
+    trace, timing = episode
+    kept = [c for c in trace if c.kind is not CommandType.PRE]
+    with pytest.raises(EngineProtocolViolation, match="already open"):
+        _replay(timing, config, kept)
+
+
+def test_swapped_slots_break_time_order(config, stream):
+    trace, timing = stream
+    trace = list(trace)
+    rds = [i for i, c in enumerate(trace) if c.kind is CommandType.RD]
+    trace[rds[1]], trace[rds[2]] = trace[rds[2]], trace[rds[1]]
+    with pytest.raises(EngineProtocolViolation, match="not time-ordered"):
+        _replay(timing, config, trace)
+
+
+def test_duplicated_slot_rejected(config, stream):
+    trace, timing = stream
+    rds = [i for i, c in enumerate(trace) if c.kind is CommandType.RD]
+    doubled = list(trace)
+    doubled.insert(rds[1], trace[rds[1]])
+    with pytest.raises(EngineProtocolViolation,
+                       match="one bus slot|tCCD"):
+        _replay(timing, config, doubled)
+
+
+def test_deleted_pre_for_ref_rejected(config):
+    """Drop the PRE a refresh forced: REF must see the bank still open."""
+    requests = _reads([(row, col) for row in range(500)
+                       for col in (0, 8)])
+    trace, timing = _run(config, requests, refresh=True)
+    ref_at = next((i for i, c in enumerate(trace)
+                   if c.kind is CommandType.REF), None)
+    assert ref_at is not None, "workload too short to hit a refresh"
+    pre_at = next(i for i in range(ref_at - 1, -1, -1)
+                  if trace[i].kind is CommandType.PRE)
+    kept = trace[:pre_at] + trace[pre_at + 1:]
+    with pytest.raises(EngineProtocolViolation):
+        _replay(timing, config, kept)

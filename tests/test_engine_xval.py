@@ -5,9 +5,13 @@ import pytest
 
 from repro.dram.engine.workloads import random_mix, strided_addresses
 from repro.dram.engine.xval import (
+    ENGINE_XVAL_PROFILES,
+    ENGINE_XVAL_WORKLOADS,
+    XValPoint,
     compare_conventional,
     compare_fim,
     microbench_speedups,
+    run_engine_xval_cell,
 )
 from repro.dram.spec import default_config
 
@@ -94,3 +98,49 @@ class TestCommandCounts:
         point = compare_conventional(config, addrs)
         # At least one column command per request.
         assert point.engine_commands >= 100
+
+
+class TestRatioGuard:
+    """Regression: a zero analytic duration used to yield a silent
+    ``inf`` ratio that poisoned downstream band assertions; it must be
+    a loud error instead."""
+
+    def test_zero_analytic_raises(self):
+        point = XValPoint("degenerate", 12.0, 0.0, 3)
+        with pytest.raises(ValueError, match="degenerate"):
+            point.ratio
+
+    def test_nonzero_analytic_divides(self):
+        assert XValPoint("ok", 12.0, 6.0, 3).ratio == 2.0
+
+
+class TestEngineXvalCells:
+    """The trajectory-cell API behind ``perf_report --engine-xval``."""
+
+    def test_toy_grid_runs_and_validates(self):
+        for workload in ENGINE_XVAL_WORKLOADS:
+            result = run_engine_xval_cell("toy", workload)
+            assert result["cell"] == f"engine-xval/toy/{workload}"
+            assert result["seconds"] > 0
+            assert result["commands"] > 0
+            assert 0.4 < result["ratio"] < 3.0, (workload, result["ratio"])
+
+    def test_engine_mode_is_observable_only_in_wall_clock(self):
+        batched = run_engine_xval_cell("toy", "fim-gather")
+        scalar = run_engine_xval_cell("toy", "fim-gather",
+                                      engine_mode="scalar")
+        assert batched["cycles"] == scalar["cycles"]
+        assert batched["commands"] == scalar["commands"]
+        assert batched["engine_ns"] == scalar["engine_ns"]
+        assert batched["ratio"] == scalar["ratio"]
+
+    def test_profiles_scale_monotonically(self):
+        scales = [ENGINE_XVAL_PROFILES[p]["total_bytes"]
+                  for p in ("toy", "mid", "paper")]
+        assert scales == sorted(scales) and len(set(scales)) == 3
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            run_engine_xval_cell("huge", "mix")
+        with pytest.raises(ValueError, match="workload"):
+            run_engine_xval_cell("toy", "bogus")

@@ -33,6 +33,18 @@ without checking out the seed commit, record a full
 ``--only PREFIX`` restricts the run to cells whose name starts with
 ``PREFIX`` (e.g. ``--only fig11/``).
 
+``--engine-xval toy|mid|paper`` times the command-level DRAM engine's
+cross-validation grid (``engine-xval/<profile>/<workload>``) instead of
+the memory-path cells: each cell runs one workload through
+:class:`repro.dram.engine.DRAMEngine` and records the wall-clock of the
+engine run plus its engine/analytic duration ratio.  Combined with
+``--scalar-baseline`` the same cells run on the scalar oracle
+controller (``mode="scalar"``), recording the baseline the batched
+points are compared against -- record the scalar point first, then
+batched runs report ``speedup_vs_baseline`` automatically.  ``--check``
+gates these cells against their latest batched point like any other.
+The mid profile is the tier-1 CI smoke; paper runs nightly.
+
 ``--profile mid|paper`` times that scale profile's cells
 (``scale/<profile>/...``) instead of the toy grid, recording the
 mid/paper-scale trajectory: wall-clock per cell plus the process peak
@@ -93,6 +105,11 @@ from repro.cache.variants import FIG11_VARIANTS  # noqa: E402
 from repro.core import memory_path  # noqa: E402
 from repro.core.piccolo_cache import PiccoloCache  # noqa: E402
 from repro.experiments import parallel  # noqa: E402
+from repro.dram.engine.xval import (  # noqa: E402
+    ENGINE_XVAL_PROFILES,
+    ENGINE_XVAL_WORKLOADS,
+    run_engine_xval_cell,
+)
 from repro.experiments.runner import (  # noqa: E402
     CellSpec,
     clear_result_cache,
@@ -219,6 +236,37 @@ def run_suite(cells, repeats):
         )
         print(f"  {name:38s} {times[name]:8.3f} s", flush=True)
     return times
+
+
+def engine_xval_cells(profile):
+    """The ``--engine-xval`` suite in the common cell-tuple shape."""
+    return [
+        (f"engine-xval/{profile}/{workload}", "dram-engine", workload,
+         profile, None, {})
+        for workload in ENGINE_XVAL_WORKLOADS
+    ]
+
+
+def run_engine_xval_suite(cells, mode, repeats):
+    """Time the engine cross-validation grid on one controller mode.
+
+    Returns (times, ratios): best-of-``repeats`` engine wall seconds and
+    the engine/analytic duration ratio per cell (the cross-validation
+    payload recorded alongside the timing).
+    """
+    times, ratios = {}, {}
+    for name, _row, workload, profile, *_ in cells:
+        best = math.inf
+        for _ in range(repeats):
+            result = run_engine_xval_cell(
+                profile, workload, engine_mode=mode
+            )
+            best = min(best, result["seconds"])
+        times[name] = round(best, 4)
+        ratios[name] = round(result["ratio"], 4)
+        print(f"  {name:38s} {times[name]:8.3f} s  "
+              f"(xval ratio {ratios[name]:.3f})", flush=True)
+    return times, ratios
 
 
 def _cell_spec(row, algorithm, dataset, iters, kwargs):
@@ -406,6 +454,15 @@ def main(argv=None) -> int:
         help="time this scale profile's cells instead of the toy grid",
     )
     parser.add_argument(
+        "--engine-xval",
+        default=None,
+        choices=sorted(ENGINE_XVAL_PROFILES),
+        metavar="PROFILE",
+        help="time the DRAM engine cross-validation grid at this scale "
+        "profile instead of the memory-path cells (scalar oracle with "
+        "--scalar-baseline)",
+    )
+    parser.add_argument(
         "--chunk-size",
         type=int,
         default=None,
@@ -495,6 +552,12 @@ def main(argv=None) -> int:
     if args.parallel and (args.profile or sharded):
         parser.error("--parallel is its own suite; it does not combine "
                      "with --profile/--workers/--resume-from")
+    if args.engine_xval and (args.profile or args.parallel or sharded
+                             or args.quick
+                             or args.chunk_size is not None):
+        parser.error("--engine-xval is its own suite; it does not combine "
+                     "with --profile/--parallel/--workers/--resume-from/"
+                     "--quick/--chunk-size")
     try:
         worker_counts = [
             int(c) for c in args.worker_counts.split(",") if c
@@ -507,6 +570,8 @@ def main(argv=None) -> int:
 
     if args.profile:
         cells = _normalise(PROFILE_CELLS[args.profile])
+    elif args.engine_xval:
+        cells = engine_xval_cells(args.engine_xval)
     elif args.parallel:
         cells = []
     else:
@@ -522,12 +587,15 @@ def main(argv=None) -> int:
         if not cells:
             parser.error(f"--only {args.only!r} matches no cells")
     mode = "scalar" if args.scalar_baseline else "batched"
-    if args.scalar_baseline:
+    if args.scalar_baseline and not args.engine_xval:
+        # engine-xval routes the mode into DRAMEngine directly; the
+        # memory-path toggle is the other suites' scalar switch
         memory_path.BATCHED_DEFAULT = False
     if args.check:
         args.no_write = True
     label = args.label or (
         "parallel" if args.parallel
+        else f"{mode}-engine-xval-{args.engine_xval}" if args.engine_xval
         else f"{mode}-{args.profile}" if args.profile else mode
     )
 
@@ -548,6 +616,13 @@ def main(argv=None) -> int:
               f"cells={len(cells)} (sharded; single-shot timings)")
         times, loaded_cells, cell_rss = run_suite_sharded(
             cells, args.workers, args.resume_from
+        )
+    elif args.engine_xval:
+        print(f"perf_report: mode={mode} engine-xval "
+              f"profile={args.engine_xval} repeats={args.repeats} "
+              f"cells={len(cells)}")
+        times, xval_ratios = run_engine_xval_suite(
+            cells, mode, args.repeats
         )
     else:
         print(f"perf_report: mode={mode} repeats={args.repeats} "
@@ -576,6 +651,9 @@ def main(argv=None) -> int:
         print(f"peak RSS: {peak_rss_mb} MB")
     if args.chunk_size is not None:
         point["chunk_size"] = args.chunk_size
+    if args.engine_xval:
+        point["engine_xval_profile"] = args.engine_xval
+        point["xval_ratios"] = xval_ratios
     if sharded:
         point["workers"] = args.workers or 1
         if cell_rss:

@@ -53,6 +53,9 @@ class _VCMSystem(AcceleratorSystem):
         chunk_size: int | None = None,
         replay_capacity: int | None = None,
         stream_phase: bool | None = None,
+        tile_backing: str = "memory",
+        tile_store_root=None,
+        tile_bucket_edges: int | None = None,
     ) -> None:
         super().__init__(dram_config, pipeline)
         if onchip_bytes is not None:
@@ -72,6 +75,12 @@ class _VCMSystem(AcceleratorSystem):
         #: (enabled whenever tile chunking is on); only systems with a
         #: cached random-access path stream.
         self.stream_phase = stream_phase
+        #: tile-array backing ("memory"/"disk") plus the disk store's
+        #: root and external-sort chunk size; bit-identical results
+        #: either way (see :mod:`repro.graph.tilestore`)
+        self.tile_backing = tile_backing
+        self.tile_store_root = tile_store_root
+        self.tile_bucket_edges = tile_bucket_edges
 
     # -- hooks ----------------------------------------------------------
     def choose_tile_width(self, graph: CSRGraph) -> int:
@@ -137,7 +146,14 @@ class _VCMSystem(AcceleratorSystem):
             tile_width if tile_width is not None
             else self.choose_tile_width(graph)
         )
-        engine = VertexCentricEngine(spec, width, edge_chunk=self.chunk_size)
+        engine = VertexCentricEngine(
+            spec,
+            width,
+            edge_chunk=self.chunk_size,
+            tile_backing=self.tile_backing,
+            tile_store_root=self.tile_store_root,
+            tile_bucket_edges=self.tile_bucket_edges,
+        )
         result = SystemResult(
             system=self.name,
             algorithm=algorithm,

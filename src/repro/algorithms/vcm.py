@@ -145,14 +145,26 @@ class VertexCentricEngine:
         spec: AlgorithmSpec,
         tile_width: int | None = None,
         edge_chunk: int | None = None,
+        tile_backing: str = "memory",
+        tile_store_root=None,
+        tile_bucket_edges: int | None = None,
     ) -> None:
         if edge_chunk is not None and edge_chunk < 1:
             raise ValueError("edge_chunk must be >= 1")
         self.spec = spec
         self.graph = spec.graph
         width = tile_width if tile_width else self.graph.num_vertices
+        # With tile_backing="disk" each tile's src/dst/weight are memmap
+        # views assembled per visit in the walk below, so the sorted edge
+        # copies are paged in while the tile is processed and dropped by
+        # the OS afterwards -- nothing edge-sized stays resident.
         self.tiled = TiledCSR(
-            self.graph, max(1, width), with_weights=spec.uses_weights
+            self.graph,
+            max(1, width),
+            with_weights=spec.uses_weights,
+            backing=tile_backing,
+            store_root=tile_store_root,
+            bucket_edges=tile_bucket_edges,
         )
         self.prop = spec.init_prop.copy()
         self.active_mask = np.zeros(self.graph.num_vertices, dtype=bool)

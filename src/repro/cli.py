@@ -5,7 +5,7 @@ Commands:
 ``list``
     Show every reproducible figure with its paper headline.
 ``figure <id> [--fast] [--profile NAME] [--chunk-size N] [--workers N]
-[--resume] [--checkpoint-dir DIR]``
+[--resume] [--checkpoint-dir DIR] [--tile-backing memory|disk]``
     Regenerate one figure table (e.g. ``fig10``, ``fig19b``).  With
     ``--fast`` the experiment grid is trimmed (fewer datasets and
     iterations) for a quick smoke run.  ``--profile`` selects the
@@ -14,7 +14,10 @@ Commands:
     ``--workers`` shards the figure's grid across worker processes that
     share memmapped graphs; ``--resume`` (with ``--checkpoint-dir``,
     default ``.repro_checkpoints``) skips cells already checkpointed by
-    an earlier -- possibly killed -- run.
+    an earlier -- possibly killed -- run.  ``--tile-backing disk``
+    builds tiles with the bucketed external sort into a memmapped tile
+    store (``--tile-store-root``) instead of holding them in RAM --
+    bit-identical results at bounded RSS.
 ``profiles``
     Print the scale-profile knob table (toy / mid / paper).
 ``microbench [--engine]``
@@ -101,13 +104,22 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     scale = get_profile(args.profile)
     if args.chunk_size is not None:
         scale = dataclasses.replace(scale, chunk_size=args.chunk_size)
+    if args.tile_backing is not None:
+        scale = dataclasses.replace(scale, tile_backing=args.tile_backing)
+    if args.tile_store_root is not None:
+        scale = dataclasses.replace(
+            scale, tile_store_root=args.tile_store_root
+        )
     params = inspect.signature(fn).parameters
     takes_scale = "scale" in params
     if takes_scale:
         kwargs["scale"] = scale
-    elif args.profile != "toy" or args.chunk_size is not None:
+    elif (
+        args.profile != "toy" or args.chunk_size is not None
+        or args.tile_backing is not None or args.tile_store_root is not None
+    ):
         print(f"note: {key} does not take a scale profile; ignoring "
-              f"--profile/--chunk-size", file=sys.stderr)
+              f"--profile/--chunk-size/--tile-backing", file=sys.stderr)
     wants_workers = (
         args.workers is not None or args.resume
         or args.checkpoint_dir is not None
@@ -222,6 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="override the profile's memory-path tile "
                         "chunking (accesses per chunk)")
+    figure.add_argument("--tile-backing", default=None,
+                        choices=("memory", "disk"),
+                        help="tile-array backing: disk builds tiles by "
+                        "bucketed external sort into a memmapped store "
+                        "(bounded RSS, bit-identical results)")
+    figure.add_argument("--tile-store-root", default=None, metavar="DIR",
+                        help="tile-store directory for --tile-backing "
+                        "disk (default: REPRO_TILE_STORE or a per-"
+                        "process temp dir)")
     figure.add_argument("--workers", type=int, default=None, metavar="N",
                         help="shard the figure's grid across N worker "
                         "processes (shared memmapped graphs)")

@@ -104,6 +104,20 @@ class ExperimentScale:
     #: (on whenever ``chunk_size`` is finite), False forces whole-tile
     #: phase calls, True forces streaming
     stream_phase: bool | None = None
+    #: where :class:`~repro.graph.partition.TiledCSR` keeps its sorted
+    #: tile arrays: ``"memory"`` (global in-RAM argsort, tiles resident
+    #: for the run) or ``"disk"`` (bucketed external sort into a
+    #: memmapped tile store, O(chunk) build RSS, tiles paged on demand).
+    #: Results are bit-identical either way, so the knob is *not* part
+    #: of a cell's canonical digest.
+    tile_backing: str = "memory"
+    #: tile-store directory for ``tile_backing="disk"``; None uses
+    #: :func:`repro.graph.tilestore.default_root` (REPRO_TILE_STORE env
+    #: var, then a per-process temp dir)
+    tile_store_root: str | None = None
+    #: external-sort scatter-chunk size in edges (bounds the build's
+    #: transient RSS); None uses the tilestore default
+    tile_bucket_edges: int | None = None
     #: per-algorithm iteration caps (PR iterations are identical in cost,
     #: so a short run preserves every ratio; the paper caps at 40)
     max_iterations: dict = field(default_factory=_default_iterations)

@@ -74,6 +74,9 @@ def figure_3(
                 tile_scale=1,
                 chunk_size=scale.chunk_size,
                 replay_capacity=scale.replay_capacity,
+                tile_backing=scale.tile_backing,
+                tile_store_root=scale.tile_store_root,
+                tile_bucket_edges=scale.tile_bucket_edges,
             )
             width = graph.num_vertices if mode == "Non-Tiling" else None
             result = system.run(graph, "BFS", tile_width=width)

@@ -187,11 +187,21 @@ class SweepCheckpointStore:
 # ---------------------------------------------------------------------------
 # Pool worker entry points (module-level: spawn workers import this module)
 # ---------------------------------------------------------------------------
-def _worker_init(manifest: dict) -> None:
-    """Attach every materialised graph and forbid worker-side generation."""
+def _worker_init(manifest: dict, tile_root=None) -> None:
+    """Attach every materialised graph and forbid worker-side generation.
+
+    ``tile_root`` points every worker's disk-backed tile builds at one
+    shared store directory, so a (graph, tile_width) store is built by
+    the first worker that needs it (first-writer-wins) and *attached*
+    by the rest -- the tile analogue of the shared memmapped graphs.
+    """
     for (name, shift), path in manifest.items():
         datasets.attach_memmap(name, shift, path)
     datasets.set_require_attached(True)
+    if tile_root is not None:
+        from repro.graph import tilestore
+
+        tilestore.set_default_root(tile_root)
 
 
 def _worker_run(spec: CellSpec):
@@ -352,7 +362,7 @@ def _run_pool(
             max_workers=max_workers,
             mp_context=context,
             initializer=_worker_init,
-            initargs=(manifest,),
+            initargs=(manifest, str(graph_root / "tiles")),
         ) as executor:
             futures = {
                 executor.submit(_worker_run, cell.spec): (index, cell)

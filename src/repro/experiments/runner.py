@@ -27,6 +27,19 @@ from repro.utils.stats import geometric_mean
 
 _SPM_SYSTEMS = ("Graphicionado", "GraphDyns (SPM)")
 
+#: make_system kwargs excluded from the canonical cell digest.
+#: ``cache_factory`` is excluded because ``cache_design`` already names
+#: it canonically; the tile-store knobs are excluded because disk-backed
+#: tiles are bit-identical to in-memory ones (pinned by the tilestore
+#: differential suite), so backing is an execution detail -- memo hits
+#: and sweep checkpoints are deliberately shared across backings.
+_NON_SEMANTIC_KEYS = (
+    "cache_factory",
+    "tile_backing",
+    "tile_store_root",
+    "tile_bucket_edges",
+)
+
 #: bound on the completed-run memo.  Results are a few hundred bytes of
 #: scalars each, but an unbounded dict pinned every run of a long figure
 #: session forever; 256 comfortably holds the largest single figure
@@ -112,6 +125,11 @@ class CellSpec:
     scale_shift: int | None = None
     chunk_size: int | None = None
     cache_design: str | None = None
+    #: tile-array backing override (``"memory"``/``"disk"``); None takes
+    #: the profile's ``tile_backing``.  Not part of the cell digest:
+    #: results are bit-identical across backings by construction, so
+    #: memo/checkpoint entries are shared between them.
+    tile_backing: str | None = None
     #: extra ``make_system`` overrides as sorted ``(key, value)`` pairs;
     #: non-primitive values (e.g. cache factories) are allowed but make
     #: the cell undigestable (uncacheable, uncheckpointable)
@@ -207,6 +225,12 @@ def resolve_cell(spec: CellSpec) -> ResolvedCell:
         chunk_size=chunk,
         replay_capacity=scale.replay_capacity,
         stream_phase=scale.stream_phase,
+        tile_backing=(
+            spec.tile_backing if spec.tile_backing is not None
+            else scale.tile_backing
+        ),
+        tile_store_root=scale.tile_store_root,
+        tile_bucket_edges=scale.tile_bucket_edges,
     )
     if spec.system in ("Piccolo", "NMP"):
         kwargs["mshr_entries"] = scale.mshr_entries
@@ -238,7 +262,7 @@ def resolve_cell(spec: CellSpec) -> ResolvedCell:
         ("cache_design", spec.cache_design),
     ]
     digest_items += sorted(
-        (k, v) for k, v in kwargs.items() if k != "cache_factory"
+        (k, v) for k, v in kwargs.items() if k not in _NON_SEMANTIC_KEYS
     )
     # A user-supplied cache_factory (not via cache_design) is part of the
     # cell's identity but has no canonical form: the cell is undigestable.
@@ -294,6 +318,7 @@ def run_system(
     scale_shift: int | None = None,
     chunk_size: int | None = None,
     cache_design: str | None = None,
+    tile_backing: str | None = None,
     **system_kwargs,
 ) -> SystemResult:
     """Run one (system, algorithm, dataset) cell of the evaluation grid.
@@ -303,7 +328,9 @@ def run_system(
     ``"paper"``); ``scale_shift`` and ``chunk_size`` override the
     profile's dataset reduction and memory-path chunking per call.
     ``cache_design`` substitutes a Fig. 11 fine-grained cache by
-    registry name (see :class:`CellSpec`).
+    registry name (see :class:`CellSpec`); ``tile_backing`` overrides
+    the profile's tile-array backing (``"memory"``/``"disk"``, results
+    bit-identical either way).
     """
     spec = CellSpec(
         system=system,
@@ -317,6 +344,7 @@ def run_system(
         scale_shift=scale_shift,
         chunk_size=chunk_size,
         cache_design=cache_design,
+        tile_backing=tile_backing,
         system_kwargs=tuple(sorted(system_kwargs.items())),
     )
     return run_resolved(resolve_cell(spec))

@@ -128,17 +128,36 @@ DATASET_CACHE_BUDGET_BYTES = 1 << 29  # 512 MB
 
 class DatasetCacheInfo(NamedTuple):
     """``load_dataset.cache_info()`` result (lru_cache-compatible shape,
-    plus the byte accounting the budget evicts on)."""
+    plus the byte accounting the budget evicts on).  ``resident_bytes``
+    is what the budget actually charges (private anonymous pages);
+    ``mapped_bytes`` is the file-backed remainder served from shared
+    page-cache mappings."""
 
     hits: int
     misses: int
     budget_bytes: int
     currsize: int
     total_bytes: int
+    resident_bytes: int = 0
+    mapped_bytes: int = 0
+
+
+def _is_file_backed(array) -> bool:
+    import numpy as np
+
+    return isinstance(array, np.memmap) or isinstance(array.base, np.memmap)
 
 
 class _DatasetCache:
-    """LRU graph cache evicting by total edge-array bytes, not count."""
+    """LRU graph cache evicting by *resident* edge-array bytes.
+
+    Anonymous (generated) graphs cost their full ``nbytes``; memmap-
+    backed graphs cost ~0 -- their pages live in the shared page cache
+    and are reclaimable by the OS, so charging them at ``nbytes`` made
+    the budget evict exactly the entries that were free to keep (and
+    keep exactly the ones that were expensive).  Eviction therefore
+    skips zero-resident entries entirely: removing them frees nothing.
+    """
 
     def __init__(self, budget_bytes: int) -> None:
         self.budget_bytes = budget_bytes
@@ -150,8 +169,22 @@ class _DatasetCache:
     def graph_nbytes(graph: CSRGraph) -> int:
         return graph.indptr.nbytes + graph.indices.nbytes + graph.weights.nbytes
 
+    @staticmethod
+    def graph_resident_nbytes(graph: CSRGraph) -> int:
+        """The budget charge: bytes held as private anonymous memory."""
+        return sum(
+            array.nbytes
+            for array in (graph.indptr, graph.indices, graph.weights)
+            if not _is_file_backed(array)
+        )
+
     def total_bytes(self) -> int:
         return sum(self.graph_nbytes(g) for g in self._entries.values())
+
+    def resident_bytes(self) -> int:
+        return sum(
+            self.graph_resident_nbytes(g) for g in self._entries.values()
+        )
 
     def get(self, key: tuple) -> CSRGraph | None:
         graph = self._entries.get(key)
@@ -165,11 +198,35 @@ class _DatasetCache:
     def put(self, key: tuple, graph: CSRGraph) -> None:
         self._entries[key] = graph
         self._entries.move_to_end(key)
-        # Evict least-recently-used graphs until the budget holds; the
-        # newest entry always stays (a single over-budget graph is kept
-        # while in use rather than rebuilt on every call).
-        while len(self._entries) > 1 and self.total_bytes() > self.budget_bytes:
-            self._entries.popitem(last=False)
+        # Evict least-recently-used *resident* graphs until the budget
+        # holds; the newest entry always stays (a single over-budget
+        # graph is kept while in use rather than rebuilt on every call)
+        # and memmap-backed entries are never victims -- evicting them
+        # frees no memory.
+        while self.resident_bytes() > self.budget_bytes:
+            newest = next(reversed(self._entries))
+            victim = next(
+                (
+                    k for k, g in self._entries.items()
+                    if k != newest and self.graph_resident_nbytes(g) > 0
+                ),
+                None,
+            )
+            if victim is None:
+                break
+            del self._entries[victim]
+
+    def replace(self, key: tuple, graph: CSRGraph) -> None:
+        """Swap an entry's graph in place (no hit/miss/recency change).
+
+        :func:`materialize_memmap` uses this to substitute the memmap-
+        backed copy for a freshly generated anonymous graph: same
+        arrays bit-for-bit, but the entry's budget charge drops to ~0,
+        so materialising a sweep's graphs actively *frees* cache budget
+        instead of competing for it.
+        """
+        if key in self._entries:
+            self._entries[key] = graph
 
     def clear(self) -> None:
         self._entries.clear()
@@ -177,12 +234,16 @@ class _DatasetCache:
         self.misses = 0
 
     def info(self) -> DatasetCacheInfo:
+        total = self.total_bytes()
+        resident = self.resident_bytes()
         return DatasetCacheInfo(
             hits=self.hits,
             misses=self.misses,
             budget_bytes=self.budget_bytes,
             currsize=len(self._entries),
-            total_bytes=self.total_bytes(),
+            total_bytes=total,
+            resident_bytes=resident,
+            mapped_bytes=total - resident,
         )
 
 
@@ -264,10 +325,17 @@ def materialize_memmap(name: str, scale_shift: int | None, root) -> "os.PathLike
 
     shift = resolve_shift(name, scale_shift)
     target = pathlib.Path(_os.fspath(root)) / f"{name}-s{shift}"
-    if graphio._memmap_dir_valid(target):
-        return target
-    graph = load_dataset(name, shift)
-    return graphio.to_memmap(graph, target)
+    if not graphio._memmap_dir_valid(target):
+        graph = load_dataset(name, shift)
+        target = pathlib.Path(graphio.to_memmap(graph, target))
+    # Swap any anonymous cached copy for the memmap attachment: the
+    # arrays are bit-identical, but the cache entry's resident charge
+    # drops to ~0 (see _DatasetCache.replace).
+    key = (name, shift)
+    cached = _CACHE._entries.get(key)
+    if cached is not None and _CACHE.graph_resident_nbytes(cached) > 0:
+        _CACHE.replace(key, graphio.from_memmap(target))
+    return target
 
 
 def load_dataset(name: str, scale_shift: int | None = None) -> CSRGraph:

@@ -66,13 +66,36 @@ class TiledCSR:
     Building the tiling is a one-off cost per (graph, tile_width); the
     accelerator models re-walk tiles every iteration, which is where the
     paper's topology-repetition cost comes from.
+
+    ``backing`` selects where the sorted tile arrays live:
+
+    - ``"memory"`` (default): the global stable packed-key argsort below,
+      every tile's arrays resident for the tiling's lifetime.
+    - ``"disk"``: a :mod:`repro.graph.tilestore` store built by bucketed
+      external sort (O(chunk) transient RSS, no global argsort) and
+      attached as memmaps; ``__getitem__`` assembles tiles whose
+      src/dst/weight are memmap *views*, so the chunk-streaming memory
+      paths pull tile bytes straight off disk and the OS drops them
+      after each walk.  Tile contents are bit-identical to the
+      in-memory build (pinned by the differential suite in
+      ``tests/test_tilestore.py``).
     """
 
     def __init__(
-        self, graph: CSRGraph, tile_width: int, with_weights: bool = True
+        self,
+        graph: CSRGraph,
+        tile_width: int,
+        with_weights: bool = True,
+        backing: str = "memory",
+        store_root=None,
+        bucket_edges: int | None = None,
     ) -> None:
         if tile_width <= 0:
             raise ValueError("tile_width must be positive")
+        if backing not in ("memory", "disk"):
+            raise ValueError(
+                f"backing must be 'memory' or 'disk', got {backing!r}"
+            )
         self.graph = graph
         self.tile_width = min(tile_width, max(1, graph.num_vertices))
         self.num_tiles = tile_count(graph.num_vertices, self.tile_width)
@@ -80,7 +103,21 @@ class TiledCSR:
         #: per-tile weight copy; ``tile.weight`` is then a zero-stride
         #: all-zeros view (same dtype/shape, no memory)
         self.with_weights = with_weights
-        self._tiles: list[Tile] = self._build()
+        self.backing = backing
+        if backing == "disk":
+            from repro.graph import tilestore
+
+            self.store = tilestore.build_or_attach(
+                graph,
+                self.tile_width,
+                with_weights,
+                root=store_root,
+                bucket_edges=bucket_edges,
+            )
+            self._tiles = None
+        else:
+            self.store = None
+            self._tiles: list[Tile] = self._build()
 
     def _build(self) -> list[Tile]:
         # Memory-lean construction: no whole-graph pre-copies, originals
@@ -142,17 +179,48 @@ class TiledCSR:
             )
         return tiles
 
+    def _disk_tile(self, index: int) -> Tile:
+        src, dst, weight, src_unique, src_edge_start = (
+            self.store.tile_arrays(index)
+        )
+        if weight is None:
+            weight = np.broadcast_to(
+                np.zeros(1, dtype=np.int64), (src.size,)
+            )
+        return Tile(
+            index=index,
+            dst_lo=index * self.tile_width,
+            dst_hi=min(
+                (index + 1) * self.tile_width, self.graph.num_vertices
+            ),
+            src=src,
+            dst=dst,
+            weight=weight,
+            src_unique=src_unique,
+            src_edge_start=src_edge_start,
+        )
+
     def __len__(self) -> int:
         return self.num_tiles
 
     def __getitem__(self, index: int) -> Tile:
-        return self._tiles[index]
+        if self._tiles is not None:
+            return self._tiles[index]
+        if index < 0:
+            index += self.num_tiles
+        if not 0 <= index < self.num_tiles:
+            raise IndexError("tile index out of range")
+        return self._disk_tile(index)
 
     def __iter__(self):
-        return iter(self._tiles)
+        if self._tiles is not None:
+            return iter(self._tiles)
+        return (self._disk_tile(t) for t in range(self.num_tiles))
 
     def total_edges(self) -> int:
         """Sum of per-tile edges; equals the graph's edge count."""
+        if self.store is not None:
+            return self.store.num_edges
         return sum(t.num_edges for t in self._tiles)
 
 

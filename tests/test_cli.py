@@ -35,6 +35,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig10", "--profile", "huge"])
 
+    def test_tile_backing_flags_parse(self):
+        args = build_parser().parse_args(
+            ["figure", "fig10", "--tile-backing", "disk",
+             "--tile-store-root", "/tmp/tiles"]
+        )
+        assert args.tile_backing == "disk"
+        assert args.tile_store_root == "/tmp/tiles"
+
+    def test_tile_backing_defaults_to_profile(self):
+        args = build_parser().parse_args(["figure", "fig10"])
+        assert args.tile_backing is None
+        assert args.tile_store_root is None
+
+    def test_unknown_tile_backing_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["figure", "fig10", "--tile-backing", "tape"]
+            )
+
+
+class TestTileBackingCommand:
+    def test_fast_figure_runs_disk_backed(self, capsys, tmp_path):
+        from repro.experiments.runner import clear_result_cache
+
+        # drop memoised cells: backing shares digests by design, so a
+        # memo hit from an earlier test would skip the disk build
+        clear_result_cache()
+        assert main(["figure", "fig3", "--fast", "--tile-backing", "disk",
+                     "--tile-store-root", str(tmp_path)]) == 0
+        assert "fig3" in capsys.readouterr().out
+        assert list(tmp_path.glob("tiles-*"))  # store was built there
+
+    def test_note_for_scale_free_figures(self, capsys):
+        assert main(["figure", "fig9", "--tile-backing", "disk"]) == 0
+        assert "does not take a scale profile" in capsys.readouterr().err
+
 
 class TestListCommand:
     def test_lists_all_figures(self, capsys):

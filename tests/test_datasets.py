@@ -123,3 +123,72 @@ class TestByteBudgetedCache:
         load_dataset.cache_clear()
         info = load_dataset.cache_info()
         assert info.hits == info.misses == info.currsize == 0
+
+
+class TestResidentCostAccounting:
+    """Memmap-backed graphs are charged at resident (~0) cost, not full
+    nbytes: their pages live in the shared page cache, so evicting them
+    frees nothing -- charging them at nbytes made the budget evict
+    exactly the entries that were free to keep."""
+
+    @pytest.fixture
+    def tight_budget(self):
+        cache = datasets._CACHE
+        saved = cache.budget_bytes
+        load_dataset.cache_clear()
+        yield cache
+        cache.budget_bytes = saved
+        load_dataset.cache_clear()
+
+    def _memmap_swap(self, name, shift, root):
+        load_dataset(name, shift)
+        datasets.materialize_memmap(name, shift, root)
+
+    def test_materialize_swaps_cached_entry_to_mapped(
+        self, tight_budget, tmp_path
+    ):
+        anon = load_dataset("UU", 14)
+        assert tight_budget.graph_resident_nbytes(anon) > 0
+        datasets.materialize_memmap("UU", 14, tmp_path)
+        swapped = load_dataset("UU", 14)
+        assert tight_budget.graph_resident_nbytes(swapped) == 0
+        import numpy as np
+
+        assert np.array_equal(anon.indices, swapped.indices)
+        assert np.array_equal(anon.indptr, swapped.indptr)
+        assert np.array_equal(anon.weights, swapped.weights)
+
+    def test_mapped_entries_are_not_evicted_first(
+        self, tight_budget, tmp_path
+    ):
+        self._memmap_swap("UU", 14, tmp_path)
+        mapped = load_dataset("UU", 14)
+        anon_a = load_dataset("SW", 14)
+        # budget: one anonymous graph fits, two don't; the cheap mapped
+        # entry (older than both) must NOT be the victim
+        tight_budget.budget_bytes = int(
+            tight_budget.graph_nbytes(anon_a) * 1.5
+        )
+        load_dataset("TW", 14)
+        assert load_dataset("UU", 14) is mapped  # mapped entry survived
+        assert load_dataset("SW", 14) is not anon_a  # resident LRU went
+
+    def test_eviction_stops_when_only_mapped_entries_remain(
+        self, tight_budget, tmp_path
+    ):
+        self._memmap_swap("UU", 14, tmp_path)
+        self._memmap_swap("SW", 14, tmp_path)
+        tight_budget.budget_bytes = 1
+        load_dataset("UU", 15)  # over-budget newest + two mapped entries
+        info = load_dataset.cache_info()
+        assert info.currsize == 3  # evicting mapped entries frees nothing
+
+    def test_cache_info_reports_resident_vs_mapped(
+        self, tight_budget, tmp_path
+    ):
+        self._memmap_swap("UU", 14, tmp_path)
+        anon = load_dataset("SW", 14)
+        info = load_dataset.cache_info()
+        assert info.resident_bytes == tight_budget.graph_nbytes(anon)
+        assert info.mapped_bytes > 0
+        assert info.total_bytes == info.resident_bytes + info.mapped_bytes

@@ -283,6 +283,28 @@ class TestRunCells:
         with pytest.raises(ValueError, match="requires a checkpoint_dir"):
             parallel.run_cells(EQUIV_SPECS[:1], resume=True)
 
+    def test_workers_share_one_tile_store(self, tmp_path):
+        """Disk-backed cells in a pool build each (graph, width) store
+        once under the sweep's graph root; later workers attach it --
+        the tile analogue of the shared memmapped CSR graphs."""
+        specs = [
+            _spec(system="Piccolo", tile_backing="disk"),
+            _spec(system="NMP", tile_backing="disk"),
+        ]
+        outcomes = parallel.run_cells(
+            specs, workers=2, checkpoint_dir=tmp_path
+        )
+        assert {o.source for o in outcomes} == {"worker"}
+        stores = list((tmp_path / "graphs" / "tiles").glob("tiles-*"))
+        assert stores  # built under the shared sweep root, not /tmp
+        clear_result_cache()
+        serial = [
+            runner.run_resolved(resolve_cell(_spec(system=s)))
+            for s in ("Piccolo", "NMP")
+        ]
+        for expect, outcome in zip(serial, outcomes):
+            assert outcome.result == expect
+
     def test_unpicklable_cells_fall_back_to_serial(self, tmp_path):
         from repro.cache.sectored import SectoredCache
 

@@ -18,30 +18,56 @@ class TestTileCount:
             tile_count(10, 0)
 
 
+@pytest.fixture(params=["memory", "disk"])
+def backing_kwargs(request, tmp_path):
+    """Both tile backings; the tiling invariants must hold identically."""
+    if request.param == "disk":
+        return {"backing": "disk", "store_root": tmp_path}
+    return {}
+
+
 class TestTiledCSR:
-    def test_edges_partitioned_exactly_once(self, medium_power_law_graph):
-        tiled = TiledCSR(medium_power_law_graph, 100)
+    def test_edges_partitioned_exactly_once(
+        self, medium_power_law_graph, backing_kwargs
+    ):
+        tiled = TiledCSR(medium_power_law_graph, 100, **backing_kwargs)
         assert tiled.total_edges() == medium_power_law_graph.num_edges
 
-    def test_destinations_within_range(self, medium_power_law_graph):
-        tiled = TiledCSR(medium_power_law_graph, 128)
+    def test_destinations_within_range(
+        self, medium_power_law_graph, backing_kwargs
+    ):
+        tiled = TiledCSR(medium_power_law_graph, 128, **backing_kwargs)
         for tile in tiled:
             if tile.num_edges:
                 assert tile.dst.min() >= tile.dst_lo
                 assert tile.dst.max() < tile.dst_hi
 
-    def test_sources_sorted_within_tile(self, medium_power_law_graph):
-        tiled = TiledCSR(medium_power_law_graph, 128)
+    def test_sources_sorted_within_tile(
+        self, medium_power_law_graph, backing_kwargs
+    ):
+        tiled = TiledCSR(medium_power_law_graph, 128, **backing_kwargs)
         for tile in tiled:
             assert np.all(np.diff(tile.src) >= 0)
 
-    def test_src_edge_start_is_csr_index(self, medium_power_law_graph):
-        tiled = TiledCSR(medium_power_law_graph, 256)
+    def test_src_edge_start_is_csr_index(
+        self, medium_power_law_graph, backing_kwargs
+    ):
+        tiled = TiledCSR(medium_power_law_graph, 256, **backing_kwargs)
         for tile in tiled:
             for i, u in enumerate(tile.src_unique):
                 lo = tile.src_edge_start[i]
                 hi = tile.src_edge_start[i + 1]
                 assert np.all(tile.src[lo:hi] == u)
+
+    def test_getitem_indexing_matches_iteration(
+        self, medium_power_law_graph, backing_kwargs
+    ):
+        tiled = TiledCSR(medium_power_law_graph, 128, **backing_kwargs)
+        for i, tile in enumerate(tiled):
+            assert np.array_equal(tiled[i].src, tile.src)
+        assert tiled[-1].index == len(tiled) - 1
+        with pytest.raises(IndexError):
+            tiled[len(tiled)]
 
     def test_single_tile_covers_everything(self, tiny_graph):
         tiled = TiledCSR(tiny_graph, tiny_graph.num_vertices)

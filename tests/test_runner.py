@@ -182,6 +182,54 @@ class TestScaleProfiles:
         assert result.tile_width < default.tile_width
 
 
+class TestTileBacking:
+    def test_backing_is_not_part_of_the_cell_digest(self, tmp_path):
+        """Disk-backed tiles are bit-identical to in-memory ones, so
+        backing is an execution detail: memo hits and sweep checkpoints
+        are shared across backings."""
+        from repro.experiments.runner import CellSpec, resolve_cell
+
+        base = CellSpec(system="Piccolo", algorithm="PR", dataset="UU")
+        disk = dataclasses.replace(base, tile_backing="disk")
+        store = dataclasses.replace(
+            base,
+            scale=dataclasses.replace(
+                PROFILES["toy"],
+                tile_backing="disk",
+                tile_store_root=str(tmp_path),
+                tile_bucket_edges=1 << 12,
+            ),
+        )
+        digests = {resolve_cell(s).digest for s in (base, disk, store)}
+        assert len(digests) == 1 and None not in digests
+
+    def test_disk_backed_run_is_bit_identical(self, tmp_path):
+        clear_result_cache()
+        mem = run_system("Piccolo", "PR", "SW", max_iterations=2)
+        clear_result_cache()
+        scale = dataclasses.replace(
+            PROFILES["toy"], tile_store_root=str(tmp_path)
+        )
+        dsk = run_system("Piccolo", "PR", "SW", max_iterations=2,
+                         scale=scale, tile_backing="disk")
+        assert mem is not dsk
+        assert mem.to_record() == dsk.to_record()
+
+    def test_profile_tile_backing_flows_to_system(self, tmp_path):
+        from repro.experiments.runner import CellSpec, resolve_cell
+
+        scale = dataclasses.replace(
+            PROFILES["toy"], tile_backing="disk",
+            tile_store_root=str(tmp_path),
+        )
+        cell = resolve_cell(
+            CellSpec(system="Piccolo", algorithm="PR", dataset="UU",
+                     scale=scale)
+        )
+        assert cell.make_kwargs["tile_backing"] == "disk"
+        assert cell.make_kwargs["tile_store_root"] == str(tmp_path)
+
+
 class TestFigureHelpers:
     def test_figure_3_small(self):
         from repro.experiments.figures import figure_3

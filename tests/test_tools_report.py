@@ -9,7 +9,12 @@ TOOLS = pathlib.Path(__file__).parent.parent / "tools"
 sys.path.insert(0, str(TOOLS))
 
 from generate_report import headline_numbers, parse_tables  # noqa: E402
-from perf_report import check_regressions, reference_times  # noqa: E402
+from perf_report import (  # noqa: E402
+    check_regressions,
+    main as perf_report_main,
+    ooc_cells,
+    reference_times,
+)
 
 SAMPLE = """\
 some pytest noise
@@ -132,6 +137,24 @@ class TestPerfRegressionGate:
             {"cell": "brand-new", "measured_s": 99.0,
              "status": "no-baseline"},
         ]
+
+    def test_ooc_cells_use_the_common_tuple_shape(self):
+        cells = ooc_cells("paper")
+        assert any("KN28" in name for name, *_ in cells)
+        for name, row, algorithm, dataset, iters, kwargs in cells:
+            assert name.startswith("ooc/paper/")
+            assert iters is None
+            assert kwargs == {}
+
+    def test_ooc_scale_shift_lands_in_the_dataset_label(self):
+        labels = {name: ds for name, _, _, ds, *_ in ooc_cells("paper")}
+        assert labels["ooc/paper/disk/Piccolo/PR/KN28s4"] == "KN28@s4"
+
+    def test_ooc_is_its_own_suite(self):
+        for conflict in (["--quick"], ["--profile", "mid"],
+                         ["--scalar-baseline"], ["--workers", "2"]):
+            with pytest.raises(SystemExit):
+                perf_report_main(["--ooc", "mid", *conflict])
 
     def test_scalar_and_seed_points_are_not_references(self):
         refs, _ = reference_times(

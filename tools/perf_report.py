@@ -52,6 +52,20 @@ RSS.  These cells have no scalar baseline (the seed could not run them
 at all); their value is the recorded trend itself.  ``--chunk-size``
 overrides the profile's memory-path tile chunking for the run.
 
+``--ooc mid|paper`` times the out-of-core tile-backing cells
+(``ooc/<profile>/<backing>/...``) instead of the memory-path grid: each
+cell runs in a *spawned child process* (RSS high-water marks never
+reset within a process) with the dataset materialised to a memmap and
+the tile arrays built memory- or disk-backed into a fresh store, and
+records wall-clock plus the child's peak *anonymous* RSS (file-backed
+memmap pages are reclaimable, so they are excluded -- bounded anonymous
+memory is the out-of-core claim).  The paper suite includes the
+100M+-edge Kronecker cell (``KN28`` at ``scale_shift=4``) that only the
+disk backing can run at bounded RSS.  ``--check`` / ``--max-rss-mb``
+gate these cells like any other; the per-cell anonymous peaks feed the
+RSS budget.  Single-shot timings (one child per cell); ``--repeats`` is
+ignored.
+
 ``--check`` turns the run into a CI perf-regression *gate*: every timed
 cell is compared against its most recent recorded batched-mode
 trajectory point, and the process exits non-zero if any cell is slower
@@ -110,6 +124,7 @@ from repro.dram.engine.xval import (  # noqa: E402
     ENGINE_XVAL_WORKLOADS,
     run_engine_xval_cell,
 )
+from repro.experiments.ooc import OOC_CELLS, run_ooc_cell  # noqa: E402
 from repro.experiments.runner import (  # noqa: E402
     CellSpec,
     clear_result_cache,
@@ -317,6 +332,48 @@ def run_suite_sharded(cells, workers, resume_from):
     return times, loaded, rss
 
 
+def ooc_cells(profile):
+    """The ``--ooc`` suite in the common cell-tuple shape."""
+    return [
+        (
+            cell.name,
+            cell.system,
+            cell.algorithm,
+            cell.dataset if cell.scale_shift is None
+            else f"{cell.dataset}@s{cell.scale_shift}",
+            None,
+            {},
+        )
+        for cell in OOC_CELLS[profile]
+    ]
+
+
+def run_ooc_suite(cells, profile):
+    """Run the out-of-core cells, one spawned child each.
+
+    Returns (times, rss, detail): per-cell run wall seconds, the child's
+    peak anonymous RSS in MB (what ``--max-rss-mb`` gates), and the full
+    per-cell measurement payloads (recorded in the trajectory point).
+    """
+    import tempfile
+
+    lookup = {cell.name: cell for cell in OOC_CELLS[profile]}
+    times, rss, detail = {}, {}, {}
+    with tempfile.TemporaryDirectory(prefix="repro-ooc-") as root:
+        for name, *_ in cells:
+            payload = run_ooc_cell(lookup[name], root)
+            times[name] = payload["seconds"]
+            rss[name] = payload["rss_anon_peak_mb"]
+            detail[name] = payload
+            print(
+                f"  {name:38s} {times[name]:8.3f} s  "
+                f"anon peak {rss[name]:8.1f} MB  "
+                f"(+{payload['materialize_seconds']:.1f}s materialize)",
+                flush=True,
+            )
+    return times, rss, detail
+
+
 def time_parallel_sweep(worker_counts, repeats, graph_dir):
     """Wall-clock the fixed mid-profile sweep at each worker count."""
     specs = [
@@ -463,6 +520,15 @@ def main(argv=None) -> int:
         "--scalar-baseline)",
     )
     parser.add_argument(
+        "--ooc",
+        default=None,
+        choices=sorted(OOC_CELLS),
+        metavar="PROFILE",
+        help="time the out-of-core tile-backing cells at this scale "
+        "profile (memory- vs disk-backed builds in spawned children; "
+        "per-cell peak anonymous RSS feeds --max-rss-mb)",
+    )
+    parser.add_argument(
         "--chunk-size",
         type=int,
         default=None,
@@ -558,6 +624,12 @@ def main(argv=None) -> int:
         parser.error("--engine-xval is its own suite; it does not combine "
                      "with --profile/--parallel/--workers/--resume-from/"
                      "--quick/--chunk-size")
+    if args.ooc and (args.profile or args.parallel or sharded or args.quick
+                     or args.engine_xval or args.scalar_baseline
+                     or args.chunk_size is not None):
+        parser.error("--ooc is its own suite; it does not combine with "
+                     "--profile/--parallel/--workers/--resume-from/--quick/"
+                     "--engine-xval/--scalar-baseline/--chunk-size")
     try:
         worker_counts = [
             int(c) for c in args.worker_counts.split(",") if c
@@ -572,6 +644,8 @@ def main(argv=None) -> int:
         cells = _normalise(PROFILE_CELLS[args.profile])
     elif args.engine_xval:
         cells = engine_xval_cells(args.engine_xval)
+    elif args.ooc:
+        cells = ooc_cells(args.ooc)
     elif args.parallel:
         cells = []
     else:
@@ -596,6 +670,7 @@ def main(argv=None) -> int:
     label = args.label or (
         "parallel" if args.parallel
         else f"{mode}-engine-xval-{args.engine_xval}" if args.engine_xval
+        else f"ooc-{args.ooc}" if args.ooc
         else f"{mode}-{args.profile}" if args.profile else mode
     )
 
@@ -624,6 +699,10 @@ def main(argv=None) -> int:
         times, xval_ratios = run_engine_xval_suite(
             cells, mode, args.repeats
         )
+    elif args.ooc:
+        print(f"perf_report: mode={mode} ooc profile={args.ooc} "
+              f"cells={len(cells)} (spawned children; single-shot timings)")
+        times, cell_rss, ooc_detail = run_ooc_suite(cells, args.ooc)
     else:
         print(f"perf_report: mode={mode} repeats={args.repeats} "
               f"cells={len(cells)}")
@@ -654,6 +733,10 @@ def main(argv=None) -> int:
     if args.engine_xval:
         point["engine_xval_profile"] = args.engine_xval
         point["xval_ratios"] = xval_ratios
+    if args.ooc:
+        point["ooc_profile"] = args.ooc
+        point["cell_rss_mb"] = cell_rss
+        point["ooc_cells"] = ooc_detail
     if sharded:
         point["workers"] = args.workers or 1
         if cell_rss:

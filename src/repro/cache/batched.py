@@ -102,6 +102,8 @@ def split_free_mru(ids: list[int], ord_: list[int]) -> tuple[list[int], list[int
     """
     free: list[int] = []
     order: list[int] = []
+    # repro-lint: disable=RL006 -- per-way scan bounded by associativity,
+    # runs once per canonicalized set, not per request
     for w in sorted(range(len(ids)), key=ord_.__getitem__, reverse=True):
         if ids[w] == -1:
             free.append(w)
@@ -154,6 +156,7 @@ class BatchedCacheEngine:
         for name in self.CANONICAL_ARRAYS:
             arr = getattr(self, name)
             p = perm
+            # repro-lint: disable=RL006 -- ndim alignment, bounded by rank
             while p.ndim < arr.ndim:
                 p = p[..., None]
             h.update(np.take_along_axis(arr, p, axis=1).tobytes())
@@ -162,6 +165,8 @@ class BatchedCacheEngine:
             if isinstance(value, np.ndarray):
                 h.update(value.tobytes())
             else:
+                # repro-lint: disable=RL001 -- DIGEST_RAW values are ints/
+                # bools/int tuples; repr is canonical for those on CPython
                 h.update(repr(value).encode())
         return h.digest()
 

@@ -456,8 +456,10 @@ class FineGrainedMemoryPath:
                     b"w" if rmw else b"r",
                 ]
                 if self.monitor is not None:
+                    # repro-lint: disable=RL001 -- state_tuple() is ints only
                     parts.append(repr(self.monitor.state_tuple()).encode())
                     parts.append(
+                        # repro-lint: disable=RL001 -- a bool 2-tuple
                         repr((self._last_bypass_fill, self._last_bypass_wb)).encode()
                     )
                 key = memo.key(parts)

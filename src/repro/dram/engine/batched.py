@@ -52,6 +52,8 @@ whichever the scalar walk would visit first.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.dram.engine.commands import (
@@ -82,6 +84,16 @@ _QCOLS = ("gkey", "rank", "bank", "rg", "row", "arrival", "frd", "fwr")
 
 class _QueueColumns:
     """One request queue as parallel columns plus the Request objects."""
+
+    gkey: np.ndarray
+    rank: np.ndarray
+    bank: np.ndarray
+    rg: np.ndarray
+    row: np.ndarray
+    arrival: np.ndarray
+    frd: np.ndarray
+    fwr: np.ndarray
+    requests: list[Request]
 
     __slots__ = _QCOLS + ("requests",)
 
@@ -190,7 +202,7 @@ class BatchedChannelController:
         self._next_refresh_due = np.full(ranks, timing.tREFI,
                                          dtype=np.int64)
         self._min_due = timing.tREFI
-        self._rank_idx = np.arange(ranks)
+        self._rank_idx = np.arange(ranks, dtype=np.int64)
         self._open_2d = self._open_row.reshape(ranks, bpr)
         self._prog_2d = self._prog_active.reshape(ranks, bpr)
         self._next_pre_2d = self._next_pre.reshape(ranks, bpr)
@@ -544,10 +556,10 @@ class BatchedChannelController:
                    scatter: bool) -> list[_FimStep]:
         """Shared, immutable step list for one FIM sequence shape."""
         key = (needs_prefix, was_open, scatter)
-        steps = self._step_templates.get(key)
-        if steps is not None:
-            return steps
-        steps = []
+        cached = self._step_templates.get(key)
+        if cached is not None:
+            return cached
+        steps: list[_FimStep] = []
         if needs_prefix:
             if was_open:
                 steps.append(_FimStep(CommandType.PRE, virtual=False))
@@ -612,6 +624,8 @@ class BatchedChannelController:
             # Shift the tail down to preserve insertion order.
             for arr in (self._pp_g, self._pp_term, self._pp_findex):
                 arr[slot:last] = arr[slot + 1:last + 1]
+            # repro-lint: disable=RL006 -- slot-index fixup over the pending
+            # program map, bounded by the FIM program-slot cap, not requests
             for key in self._prog_slot:
                 if self._prog_slot[key] > slot:
                     self._prog_slot[key] -= 1
@@ -620,7 +634,7 @@ class BatchedChannelController:
     # ------------------------------------------------------------------
     # Command execution
     # ------------------------------------------------------------------
-    def execute(self, action, cycle: int) -> None:
+    def execute(self, action: Any, cycle: int) -> None:
         tag = action[0]
         if tag == "column":
             _, q, index = action
@@ -867,6 +881,7 @@ class BatchedChannelController:
         if until > F[i]:
             F[i] = until
         # Same-rank program steps cached a pre-REF next_act: reload.
+        # repro-lint: disable=RL006 -- bounded by the FIM program-slot cap
         for slot in range(self._pp_n):
             g = self._pp_g.item(slot)
             if self._bank_rank_l[g] == rank:

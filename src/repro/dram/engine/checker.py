@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.dram.engine.commands import Command, CommandType
 from repro.dram.engine.timing import TimingTable
@@ -190,7 +191,7 @@ class TraceChecker:
         rank.refresh_until = cmd.cycle + self.timing.tRFC
 
 
-def check_engine_result(result) -> int:
+def check_engine_result(result: Any) -> int:
     """Validate every channel trace of an :class:`EngineResult`.
 
     Returns the number of commands checked; raises

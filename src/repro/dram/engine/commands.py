@@ -175,6 +175,18 @@ class CommandColumns:
     _FIELDS = ("cycle", "kind", "rank", "bank", "row", "column",
                "req_id", "virtual", "data_clocks", "data_start")
 
+    # columns installed by __init__'s setattr walk over _FIELDS
+    cycle: np.ndarray
+    kind: np.ndarray
+    rank: np.ndarray
+    bank: np.ndarray
+    row: np.ndarray
+    column: np.ndarray
+    req_id: np.ndarray
+    virtual: np.ndarray
+    data_clocks: np.ndarray
+    data_start: np.ndarray
+
     def __init__(self, **columns: np.ndarray) -> None:
         n = None
         for name in self._FIELDS:
@@ -212,7 +224,7 @@ class CommandColumns:
 
     def to_commands(self) -> list[Command]:
         """Materialise the scalar :class:`Command` objects."""
-        out = []
+        out: list[Command] = []
         for (cyc, kind, rank, bank, row, column, req_id, virtual,
              clocks, start) in zip(*(getattr(self, f).tolist()
                                      for f in self._FIELDS)):

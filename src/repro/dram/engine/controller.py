@@ -30,6 +30,7 @@ adjusted tWR" of slower grades.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.dram.engine.commands import (
     Command,
@@ -359,7 +360,7 @@ class ChannelController:
     # ------------------------------------------------------------------
     # Command execution
     # ------------------------------------------------------------------
-    def _execute(self, action, cycle: int) -> None:
+    def _execute(self, action: Any, cycle: int) -> None:
         tag = action[0]
         if tag == "fim_start":
             self._start_fim(action[1])

@@ -110,7 +110,7 @@ class DRAMEngine:
         if arrivals is None:
             arrivals = np.zeros(addrs.size, dtype=np.int64)
         channel, rank, bank, row, column = self.mapper.decode_many(addrs)
-        requests = []
+        requests: list[Request] = []
         for i in range(addrs.size):
             kind = RequestType.WRITE if is_write[i] else RequestType.READ
             requests.append(Request(

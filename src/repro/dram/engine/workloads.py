@@ -69,7 +69,7 @@ def conventional_requests(
         is_write = np.asarray(is_write, dtype=bool)[keep]
     mapper = AddressMapper(config)
     channel, rank, bank, row, column = mapper.decode_many(blocks)
-    requests = []
+    requests: list[Request] = []
     for i in range(blocks.size):
         kind = (RequestType.WRITE if is_write is not None and is_write[i]
                 else RequestType.READ)

@@ -245,7 +245,7 @@ def microbench_speedups(
     Returns one row per stride with engine-measured conventional and
     FIM durations and their ratio (the paper's speedup series).
     """
-    rows = []
+    rows: list[dict] = []
     for stride in strides:
         addrs = strided_addresses(config, total_bytes, stride, single_row)
         conventional = compare_conventional(

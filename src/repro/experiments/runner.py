@@ -162,8 +162,12 @@ def _canonical_token(value) -> str | None:
     arbitrary callables/objects are not (their reprs carry addresses).
     """
     if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        # repro-lint: disable=RL001 -- primitive reprs are canonical (float
+        # repr is shortest-roundtrip, stable across CPython >= 3.1)
         return repr(value)
     if isinstance(value, (DRAMConfig, PipelineConfig)):
+        # repro-lint: disable=RL001 -- frozen dataclasses repr their fields
+        # in declaration order; fields are primitives (checked above rule)
         return repr(value)
     if isinstance(value, tuple):
         tokens = [_canonical_token(item) for item in value]

@@ -33,10 +33,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, NamedTuple
+from typing import TYPE_CHECKING, Callable, NamedTuple
 
 from repro.graph.csr import CSRGraph
 from repro.graph import generators as gen
+
+if TYPE_CHECKING:  # heavy imports stay lazy at runtime
+    import os
+
+    import numpy as np
 
 
 @dataclass(frozen=True)
@@ -81,7 +86,7 @@ def _pp(scale_shift: int) -> CSRGraph:
     return gen.rmat(n, avg_degree=14.5, seed=106, a=0.45, b=0.25, c=0.2, name="PP")
 
 
-def _ws(scale: int):
+def _ws(scale: int) -> Callable[[int], CSRGraph]:
     def build(scale_shift: int) -> CSRGraph:
         n = max(1024, (1 << scale) >> scale_shift)
         return gen.watts_strogatz(n, k=5, beta=0.1, seed=110 + scale, name=f"WS{scale}")
@@ -89,7 +94,7 @@ def _ws(scale: int):
     return build
 
 
-def _kn(scale: int):
+def _kn(scale: int) -> Callable[[int], CSRGraph]:
     def build(scale_shift: int) -> CSRGraph:
         n = max(1024, (1 << scale) >> scale_shift)
         return gen.rmat(n, avg_degree=10.0, seed=120 + scale, name=f"KN{scale}")
@@ -142,7 +147,7 @@ class DatasetCacheInfo(NamedTuple):
     mapped_bytes: int = 0
 
 
-def _is_file_backed(array) -> bool:
+def _is_file_backed(array: np.ndarray) -> bool:
     import numpy as np
 
     return isinstance(array, np.memmap) or isinstance(array.base, np.memmap)
@@ -278,7 +283,7 @@ def resolve_shift(name: str, scale_shift: int | None = None) -> int:
 
 
 def attach_memmap(
-    name: str, scale_shift: int | None, path
+    name: str, scale_shift: int | None, path: str | os.PathLike
 ) -> CSRGraph:
     """Serve ``load_dataset(name, shift)`` from a memmap directory.
 
@@ -308,7 +313,9 @@ def set_require_attached(flag: bool) -> bool:
     return previous
 
 
-def materialize_memmap(name: str, scale_shift: int | None, root) -> "os.PathLike":
+def materialize_memmap(
+    name: str, scale_shift: int | None, root: str | os.PathLike
+) -> "os.PathLike":
     """Ensure a memmap directory for (dataset, shift) exists under
     ``root`` and return its path.
 

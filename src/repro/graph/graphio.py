@@ -25,6 +25,8 @@ _MEMMAP_ARRAYS = ("indptr", "indices", "weights")
 
 def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
     """Save a graph as a compressed ``.npz`` archive."""
+    # repro-lint: disable=RL002 -- export helper writing a caller-supplied
+    # path outside any store root; stores route through to_memmap's commit
     np.savez_compressed(
         path,
         indptr=graph.indptr,
@@ -160,6 +162,8 @@ def load_edge_list(
 def save_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
     """Write a graph as a ``src dst weight`` text edge list."""
     src, dst, weight = graph.edge_array()
+    # repro-lint: disable=RL002 -- export helper, caller-supplied path
+    # outside any store root (no concurrent-writer commit protocol needed)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(f"# {graph.name}: {graph.num_vertices} vertices, "
                      f"{graph.num_edges} edges\n")

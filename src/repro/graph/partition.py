@@ -13,11 +13,15 @@ exactly the stream the accelerator's prefetcher would fetch.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.utils.units import ceil_div
+
+if TYPE_CHECKING:
+    import os
 
 
 def tile_count(num_vertices: int, tile_width: int) -> int:
@@ -87,7 +91,7 @@ class TiledCSR:
         tile_width: int,
         with_weights: bool = True,
         backing: str = "memory",
-        store_root=None,
+        store_root: str | os.PathLike | None = None,
         bucket_edges: int | None = None,
     ) -> None:
         if tile_width <= 0:
@@ -152,7 +156,7 @@ class TiledCSR:
         dst = graph.indices[order]
         weight = graph.weights[order] if self.with_weights else None
         del order
-        tiles = []
+        tiles: list[Tile] = []
         for t in range(self.num_tiles):
             lo, hi = boundaries[t], boundaries[t + 1]
             t_src = src[lo:hi]
@@ -212,7 +216,7 @@ class TiledCSR:
             raise IndexError("tile index out of range")
         return self._disk_tile(index)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Tile]:
         if self._tiles is not None:
             return iter(self._tiles)
         return (self._disk_tile(t) for t in range(self.num_tiles))

@@ -1,0 +1,117 @@
+"""repro-lint command line.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.lint src tools
+    python -m repro.lint --select RL001,RL005 src
+    python -m repro.lint --fix src
+    python -m repro.lint --json src tools > lint.json
+
+Exit codes: 0 clean, 1 violations found, 2 usage error (unknown rule
+codes in ``--select`` are a usage error, never silently ignored).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .core import Linter, iter_python_files, report_json
+from .rules import default_config, make_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant linter for this repo's correctness "
+            "contracts (digest determinism, atomic writes, spawn "
+            "safety, memmap hygiene, SoA dtypes, no scalar loops)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=pathlib.Path,
+        help="files or directories to lint (default: src tools)",
+    )
+    parser.add_argument(
+        "--root", type=pathlib.Path, default=None,
+        help="repo root for scope-pattern matching (default: cwd)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanical fixes in place, then re-lint",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    opts = parser.parse_args(argv)
+
+    rules = make_rules()
+    config = default_config()
+
+    if opts.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name}")
+            print(f"       {rule.description}")
+        return 0
+
+    all_selected = True
+    known = {rule.code for rule in rules}
+    if opts.select is not None:
+        wanted = {c.strip() for c in opts.select.split(",") if c.strip()}
+        unknown = sorted(wanted - known)
+        if unknown:
+            print(
+                f"repro-lint: unknown rule code(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+        if not wanted:
+            print("repro-lint: --select given but empty", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.code in wanted]
+        all_selected = wanted == known
+
+    root = (opts.root or pathlib.Path.cwd()).resolve()
+    paths = opts.paths or [root / "src", root / "tools"]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            "repro-lint: no such path: "
+            + ", ".join(str(p) for p in missing),
+            file=sys.stderr,
+        )
+        return 2
+    files = iter_python_files(paths, root)
+
+    linter = Linter(
+        rules, config,
+        all_rules_selected=all_selected, known_codes=known,
+    )
+    report = linter.run(files, fix=opts.fix)
+
+    if opts.as_json:
+        sys.stdout.write(report_json(report))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

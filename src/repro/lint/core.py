@@ -1,0 +1,522 @@
+"""repro-lint framework: files, rules, suppressions, fixes, reports.
+
+The linter is a plain AST walk -- no import of the checked code, so it
+runs on any tree state (broken imports, missing optional deps) and in
+any interpreter that can ``ast.parse`` the sources.  The moving parts:
+
+- :class:`FileContext`: one parsed file (source, AST, line table) plus
+  the helpers rules need (dotted-name resolution, byte->char columns).
+- :class:`Rule`: one invariant, identified by an ``RLxxx`` code, scoped
+  to the repo-relative paths where the invariant holds (scope patterns
+  live in :mod:`repro.lint.rules`; tests inject their own
+  :class:`LintConfig`).
+- Suppressions: ``# repro-lint: disable=RL004 -- why this is safe``.
+  The justification text after ``--`` is *required*; a bare disable is
+  itself a violation (RL007), as is a disable naming an unknown rule or
+  one that suppresses nothing (when the full rule set runs).  An inline
+  comment covers its own line; a standalone comment line covers the
+  next statement line.
+- Fixes: mechanical rules attach pure text insertions; ``--fix``
+  applies them bottom-up and re-lints.
+
+Exit codes (CLI): 0 clean, 1 violations, 2 usage error (including
+unknown rule codes -- never silently ignored).
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import json
+import pathlib
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+#: engine-level pseudo-rule codes (not subclasses of Rule)
+PARSE_ERROR = "RL000"
+SUPPRESSION_DISCIPLINE = "RL007"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<why>\S.*))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Insertion:
+    """One pure text insertion at a (1-based line, byte column) point."""
+
+    line: int
+    byte_col: int
+    text: str
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: mechanical fix as pure insertions; None when not auto-fixable
+    fix: tuple[Insertion, ...] | None = None
+
+    @property
+    def fixable(self) -> bool:
+        return self.fix is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fixable": self.fixable,
+        }
+
+    def render(self) -> str:
+        tail = "  [fixable]" if self.fixable else ""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule} {self.message}{tail}"
+        )
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro-lint: disable=...`` comment."""
+
+    path: str
+    #: line the comment sits on
+    comment_line: int
+    #: line whose violations it suppresses
+    target_line: int
+    codes: tuple[str, ...]
+    justification: str | None
+
+
+@dataclass
+class LintConfig:
+    """Scope patterns and per-rule knobs.
+
+    ``scopes`` maps a rule code to repo-relative glob patterns (posix
+    separators); a rule only runs on files matching one of its
+    patterns.  The remaining fields tune individual rules -- see
+    :mod:`repro.lint.rules` for the defaults that encode this repo's
+    actual contracts.
+    """
+
+    scopes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: RL001: function-name regex marking digest/canonicalization scope
+    digest_name_re: str = r"(digest|canonical|snapshot|_hash)"
+    #: RL001: extra function qualnames (per file pattern) in scope
+    digest_extra_functions: dict[str, tuple[str, ...]] = field(
+        default_factory=dict
+    )
+    #: RL002: identifier regex marking tmp-staging values as safe targets
+    safe_target_re: str = r"(tmp|temp|spill|scratch)"
+    #: RL006: function names whose loops are setup, not per-request work
+    loop_setup_functions: tuple[str, ...] = ("__init__",)
+
+    def rule_applies(self, code: str, rel_path: str) -> bool:
+        patterns = self.scopes.get(code)
+        if not patterns:
+            return False
+        return any(fnmatch.fnmatch(rel_path, p) for p in patterns)
+
+
+class FileContext:
+    """One file under lint: source, AST, and location helpers."""
+
+    def __init__(self, rel_path: str, source: str) -> None:
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: ast.Module | None = None
+        self.parse_error: SyntaxError | None = None
+        try:
+            self.tree = ast.parse(source)
+        except SyntaxError as exc:  # surfaced as RL000
+            self.parse_error = exc
+        self.suppressions = _parse_suppressions(
+            rel_path, source, self.lines
+        )
+
+    # -- location helpers ----------------------------------------------
+    def char_col(self, lineno: int, byte_col: int) -> int:
+        """AST columns are UTF-8 byte offsets; report char columns."""
+        if lineno < 1 or lineno > len(self.lines):
+            return byte_col
+        raw = self.lines[lineno - 1].encode("utf-8")[:byte_col]
+        return len(raw.decode("utf-8", errors="replace"))
+
+    def violation(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        fix: tuple[Insertion, ...] | None = None,
+    ) -> Violation:
+        line = getattr(node, "lineno", 1)
+        col = self.char_col(line, getattr(node, "col_offset", 0))
+        return Violation(rule, self.rel_path, line, col, message, fix)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base class: one invariant with a code, a name, and a check."""
+
+    code: str = "RL999"
+    name: str = "unnamed"
+    description: str = ""
+
+    def check(self, ctx: FileContext, config: LintConfig) -> list[Violation]:
+        raise NotImplementedError
+
+
+def _comment_tokens(source: str, lines: Sequence[str]) -> list[tuple[int, str]]:
+    """(line, text) of every real comment -- tokenized, so suppression
+    syntax quoted in docstrings or string literals never counts."""
+    try:
+        return [
+            (tok.start[0], tok.string)
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # unparseable file (already an RL000): raw line scan fallback
+        return [
+            (index, line)
+            for index, line in enumerate(lines, start=1)
+            if "#" in line
+        ]
+
+
+def _parse_suppressions(
+    rel_path: str, source: str, lines: Sequence[str]
+) -> list[Suppression]:
+    out: list[Suppression] = []
+    for index, comment in _comment_tokens(source, lines):
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            continue
+        codes = tuple(
+            c.strip() for c in match.group(1).split(",") if c.strip()
+        )
+        justification = match.group("why")
+        line = lines[index - 1] if index <= len(lines) else comment
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            # standalone comment: covers the next statement line
+            target = index + 1
+            for later in range(index, len(lines)):
+                text = lines[later].strip()
+                if text and not text.startswith("#"):
+                    target = later + 1
+                    break
+        else:
+            target = index
+        out.append(
+            Suppression(rel_path, index, target, codes, justification)
+        )
+    return out
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: list[Violation]
+    files_checked: int
+    fixes_applied: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "violations": [v.to_dict() for v in self.violations],
+            "counts_by_rule": self.counts_by_rule(),
+            "fixes_applied": self.fixes_applied,
+        }
+
+    def render(self) -> str:
+        lines = [v.render() for v in self.violations]
+        counts = self.counts_by_rule()
+        summary = (
+            f"{len(self.violations)} violation(s) in "
+            f"{self.files_checked} file(s)"
+            + (f" [{', '.join(f'{c}x{n}' for c, n in counts.items())}]"
+               if counts else "")
+            + (f"; {self.fixes_applied} fix(es) applied"
+               if self.fixes_applied else "")
+        )
+        if self.ok:
+            summary = f"clean: {self.files_checked} file(s) checked" + (
+                f"; {self.fixes_applied} fix(es) applied"
+                if self.fixes_applied else ""
+            )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+class Linter:
+    """Run a rule set over files, honouring suppressions and --fix."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        config: LintConfig,
+        *,
+        all_rules_selected: bool = True,
+        known_codes: set[str] | None = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.config = config
+        #: unused-suppression checking is only sound when every rule ran
+        self.all_rules_selected = all_rules_selected
+        codes = [rule.code for rule in self.rules]
+        if len(set(codes)) != len(codes):
+            raise ValueError(f"duplicate rule codes: {codes}")
+        #: the full rule universe for unknown-code checks; under --select
+        #: a deselected rule's suppression is known, just not exercised
+        self.known_codes = (
+            set(known_codes) if known_codes is not None else set(codes)
+        ) | {PARSE_ERROR, SUPPRESSION_DISCIPLINE}
+
+    # ------------------------------------------------------------------
+    def check_source(self, rel_path: str, source: str) -> list[Violation]:
+        """Lint one in-memory source (the unit tests' entry point)."""
+        ctx = FileContext(rel_path, source)
+        return self._check_ctx(ctx)
+
+    def _check_ctx(self, ctx: FileContext) -> list[Violation]:
+        known_codes = self.known_codes
+        violations: list[Violation] = []
+        if ctx.parse_error is not None:
+            err = ctx.parse_error
+            violations.append(
+                Violation(
+                    PARSE_ERROR,
+                    ctx.rel_path,
+                    err.lineno or 1,
+                    (err.offset or 1) - 1,
+                    f"syntax error: {err.msg}",
+                )
+            )
+            raw = violations
+        else:
+            raw = list(violations)
+            for rule in self.rules:
+                if not self.config.rule_applies(rule.code, ctx.rel_path):
+                    continue
+                raw.extend(rule.check(ctx, self.config))
+
+        # -- apply suppressions ----------------------------------------
+        used: set[tuple[int, str]] = set()
+        kept: list[Violation] = []
+        by_line: dict[int, dict[str, Suppression]] = {}
+        for sup in ctx.suppressions:
+            if sup.justification:  # malformed ones never suppress
+                for code in sup.codes:
+                    by_line.setdefault(sup.target_line, {})[code] = sup
+        for violation in raw:
+            sup = by_line.get(violation.line, {}).get(violation.rule)
+            if sup is not None:
+                used.add((sup.comment_line, violation.rule))
+                continue
+            kept.append(violation)
+
+        # -- RL007: suppression discipline -----------------------------
+        for sup in ctx.suppressions:
+            if not sup.justification:
+                kept.append(
+                    Violation(
+                        SUPPRESSION_DISCIPLINE,
+                        ctx.rel_path,
+                        sup.comment_line,
+                        0,
+                        "suppression without justification: write "
+                        "'# repro-lint: disable=RLxxx -- why this is safe'",
+                    )
+                )
+                continue
+            for code in sup.codes:
+                if code not in known_codes:
+                    kept.append(
+                        Violation(
+                            SUPPRESSION_DISCIPLINE,
+                            ctx.rel_path,
+                            sup.comment_line,
+                            0,
+                            f"suppression names unknown rule {code!r}",
+                        )
+                    )
+                elif (
+                    self.all_rules_selected
+                    and (sup.comment_line, code) not in used
+                ):
+                    kept.append(
+                        Violation(
+                            SUPPRESSION_DISCIPLINE,
+                            ctx.rel_path,
+                            sup.comment_line,
+                            0,
+                            f"unused suppression for {code}: nothing on "
+                            f"line {sup.target_line} violates it",
+                        )
+                    )
+        kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return kept
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        files: Iterable[tuple[str, pathlib.Path]],
+        *,
+        fix: bool = False,
+        write: Callable[[pathlib.Path, str], None] | None = None,
+    ) -> LintReport:
+        """Lint (rel_path, abs_path) pairs; optionally apply fixes.
+
+        With ``fix=True``, fixable unsuppressed violations are applied
+        (bottom-up, so insert points stay valid) and the file re-linted;
+        ``write`` defaults to writing the file in place.
+        """
+        if write is None:
+            write = lambda path, text: path.write_text(text)  # noqa: E731
+        violations: list[Violation] = []
+        fixes_applied = 0
+        count = 0
+        for rel_path, abs_path in files:
+            count += 1
+            source = abs_path.read_text()
+            found = self.check_source(rel_path, source)
+            if fix:
+                fixed_source, applied = apply_fixes(source, found)
+                if applied:
+                    write(abs_path, fixed_source)
+                    fixes_applied += applied
+                    found = self.check_source(rel_path, fixed_source)
+            violations.extend(found)
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return LintReport(violations, count, fixes_applied)
+
+
+def apply_fixes(
+    source: str, violations: Sequence[Violation]
+) -> tuple[str, int]:
+    """Apply every violation's insertions bottom-up; returns the new
+    source and the number of violations fixed.  Overlapping fixes are
+    applied greedily (identical insert points merge in source order)."""
+    insertions: list[tuple[int, str, int]] = []  # (offset, text, vidx)
+    line_starts = [0]
+    for line in source.splitlines(keepends=True):
+        line_starts.append(line_starts[-1] + len(line))
+
+    def to_offset(ins: Insertion) -> int:
+        if ins.line < 1 or ins.line > len(line_starts) - 1:
+            return len(source)
+        line_text = source[
+            line_starts[ins.line - 1]:
+            line_starts[min(ins.line, len(line_starts) - 1)]
+        ]
+        raw = line_text.encode("utf-8")[:ins.byte_col]
+        return line_starts[ins.line - 1] + len(
+            raw.decode("utf-8", errors="replace")
+        )
+
+    fixed = 0
+    for index, violation in enumerate(violations):
+        if violation.fix is None:
+            continue
+        fixed += 1
+        for ins in violation.fix:
+            insertions.append((to_offset(ins), ins.text, index))
+    if not insertions:
+        return source, 0
+    # apply from the end so earlier offsets stay valid; stable on ties
+    insertions.sort(key=lambda item: item[0])
+    out = source
+    for offset, text, _ in reversed(insertions):
+        out = out[:offset] + text + out[offset:]
+    return out, fixed
+
+
+def iter_python_files(
+    paths: Sequence[pathlib.Path], root: pathlib.Path
+) -> list[tuple[str, pathlib.Path]]:
+    """Expand CLI path arguments into sorted (rel, abs) .py pairs.
+
+    Hidden directories, ``__pycache__``, and non-Python files are
+    skipped; paths outside ``root`` keep their absolute form as the
+    display/scope path (so scope patterns simply won't match them).
+    """
+    seen: dict[str, pathlib.Path] = {}
+    for path in paths:
+        path = path.resolve()
+        if path.is_dir():
+            candidates: Iterable[pathlib.Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            parts = candidate.parts
+            if any(
+                part.startswith(".") or part == "__pycache__"
+                for part in parts[len(root.resolve().parts):]
+            ):
+                continue
+            try:
+                rel = candidate.relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = candidate.as_posix()
+            seen[rel] = candidate
+    return sorted(seen.items())
+
+
+def report_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=1) + "\n"
+
+
+__all__ = [
+    "FileContext",
+    "Insertion",
+    "LintConfig",
+    "LintReport",
+    "Linter",
+    "PARSE_ERROR",
+    "Rule",
+    "SUPPRESSION_DISCIPLINE",
+    "Suppression",
+    "Violation",
+    "apply_fixes",
+    "dotted_name",
+    "iter_python_files",
+    "report_json",
+]

@@ -1,0 +1,548 @@
+"""repro-lint: rule fixtures, suppressions, --fix round-trips, meta-tests.
+
+Each RLxxx rule gets positive (bad source -> violation) and negative
+(good source -> clean) fixtures, run through a synthetic scope config
+so the tests don't depend on the repo's real file layout.  The
+meta-tests then pin the shipped tree itself: ``src/`` + ``tools/``
+lint clean under the default config, and the strict-typing gate
+(mypy.ini) passes when mypy is available.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    Linter,
+    PARSE_ERROR,
+    SUPPRESSION_DISCIPLINE,
+    apply_fixes,
+    make_rules,
+    run_paths,
+)
+from repro.lint import cli
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: synthetic scope layout: one module name per rule
+SCOPES = {
+    "RL001": ("digestmod.py",),
+    "RL002": ("storemod.py",),
+    "RL003": ("spawnmod.py",),
+    "RL004": ("memmapmod.py",),
+    "RL005": ("soamod.py",),
+    "RL006": ("engine/batched.py",),
+}
+
+
+def make_linter(all_rules_selected: bool = True) -> Linter:
+    config = LintConfig(
+        scopes=dict(SCOPES),
+        digest_extra_functions={"digestmod.py": ("resolve",)},
+        loop_setup_functions=("__init__", "_setup"),
+    )
+    return Linter(
+        make_rules(), config, all_rules_selected=all_rules_selected
+    )
+
+
+def lint(rel_path: str, source: str):
+    return make_linter().check_source(rel_path, textwrap.dedent(source))
+
+
+def codes(rel_path: str, source: str) -> list[str]:
+    return [v.rule for v in lint(rel_path, source)]
+
+
+def fix_roundtrip(rel_path: str, source: str) -> str:
+    """Apply every fix and assert the rule is then satisfied."""
+    source = textwrap.dedent(source)
+    linter = make_linter()
+    violations = linter.check_source(rel_path, source)
+    assert any(v.fixable for v in violations)
+    fixed, applied = apply_fixes(source, violations)
+    assert applied == sum(1 for v in violations if v.fixable)
+    assert linter.check_source(rel_path, fixed) == []
+    return fixed
+
+
+# ---------------------------------------------------------------------------
+# RL001 digest determinism
+# ---------------------------------------------------------------------------
+
+class TestRL001:
+    def test_unsorted_dict_items_flagged_and_fixable(self):
+        src = """
+        def state_digest(d):
+            out = []
+            for k, v in d.items():
+                out.append((k, v))
+            return out
+        """
+        vs = lint("digestmod.py", src)
+        assert [v.rule for v in vs] == ["RL001"]
+        assert vs[0].fixable
+        fixed = fix_roundtrip("digestmod.py", src)
+        assert "sorted(d.items())" in fixed
+
+    def test_set_literal_and_comprehension_iteration(self):
+        src = """
+        def canonical(xs):
+            a = [x for x in {1, 2, 3}]
+            b = [k for k in xs.keys()]
+            return a, b
+        """
+        assert codes("digestmod.py", src) == ["RL001", "RL001"]
+
+    def test_sorted_wrap_is_clean(self):
+        src = """
+        def state_digest(d):
+            flat = sorted((k, v) for k, v in d.items())
+            for k in sorted(d.keys()):
+                flat.append(k)
+            return flat
+        """
+        assert codes("digestmod.py", src) == []
+
+    def test_banned_global_state_calls(self):
+        src = """
+        import time, random
+        def snapshot(x):
+            a = time.time()
+            b = random.random()
+            c = np.random.rand()
+            d = hash(x)
+            return a, b, c, d
+        """
+        assert codes("digestmod.py", src) == ["RL001"] * 4
+
+    def test_repr_flagged(self):
+        src = """
+        def _hash_part(value):
+            return repr(value).encode()
+        """
+        assert codes("digestmod.py", src) == ["RL001"]
+
+    def test_extra_function_name_in_scope(self):
+        src = """
+        def resolve(d):
+            return list(d.items())
+
+        def run(d):
+            for k in d.items():
+                pass
+        """
+        # `resolve` is scoped via digest_extra_functions; `run` is not.
+        vs = lint("digestmod.py", src)
+        assert [v.rule for v in vs] == []
+        src_bad = src.replace("return list(d.items())",
+                              "return [k for k in d.items()]")
+        assert codes("digestmod.py", src_bad) == ["RL001"]
+
+    def test_out_of_scope_file_clean(self):
+        src = """
+        def state_digest(d):
+            for k in d.items():
+                pass
+        """
+        assert codes("othermod.py", src) == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 atomic writes
+# ---------------------------------------------------------------------------
+
+class TestRL002:
+    def test_direct_writes_flagged(self):
+        src = """
+        import json
+        import numpy as np
+        def save(path, obj, arr):
+            with open(path, "w") as fh:
+                json.dump(obj, fh)
+            np.save(path, arr)
+            path.write_text("x")
+        """
+        # open(path, "w") + json.dump to its handle + np.save + write_text
+        assert codes("storemod.py", src) == ["RL002"] * 4
+
+    def test_tmp_staging_and_replace_clean(self):
+        src = """
+        import json, os
+        import numpy as np
+        def save(path, obj, arr):
+            json_tmp = path.with_suffix(".tmp")
+            with open(json_tmp, "w") as fh:
+                json.dump(obj, fh)
+            os.replace(json_tmp, path)
+            npz_tmp = str(path) + ".tmp.npz"
+            np.save(npz_tmp, arr)
+            os.replace(npz_tmp, path)
+        """
+        assert codes("storemod.py", src) == []
+
+    def test_tempfile_assignment_tracking(self):
+        src = """
+        import tempfile
+        def build(dest):
+            workdir = tempfile.mkdtemp()
+            staging = workdir + "/part.bin"
+            with open(staging, "wb") as fh:
+                fh.write(b"x")
+        """
+        assert codes("storemod.py", src) == []
+
+    def test_read_mode_open_clean(self):
+        src = """
+        def load(path):
+            with open(path, "rb") as fh:
+                return fh.read()
+        """
+        assert codes("storemod.py", src) == []
+
+    def test_open_memmap_write_mode(self):
+        src = """
+        from numpy.lib.format import open_memmap
+        def build(path, n):
+            return open_memmap(path, mode="w+", shape=(n,))
+        """
+        assert codes("storemod.py", src) == ["RL002"]
+
+
+# ---------------------------------------------------------------------------
+# RL003 spawn safety
+# ---------------------------------------------------------------------------
+
+class TestRL003:
+    def test_fork_context_and_direct_pool(self):
+        src = """
+        import multiprocessing as mp
+        def sweep(cells):
+            ctx = mp.get_context("fork")
+            pool = mp.Pool(4)
+            return ctx, pool
+        """
+        assert codes("spawnmod.py", src) == ["RL003", "RL003"]
+
+    def test_default_context_flagged(self):
+        src = """
+        import multiprocessing as mp
+        def sweep():
+            return mp.get_context()
+        """
+        assert codes("spawnmod.py", src) == ["RL003"]
+
+    def test_lambda_worker_flagged(self):
+        src = """
+        def sweep(pool, xs):
+            pool.map(lambda x: x + 1, xs)
+            pool.apply_async(func=lambda: 0)
+        """
+        assert codes("spawnmod.py", src) == ["RL003", "RL003"]
+
+    def test_mutable_defaults_flagged(self):
+        src = """
+        def run(cells=[], opts={}, make=lambda: 1, extra=list()):
+            return cells, opts, make, extra
+        """
+        assert codes("spawnmod.py", src) == ["RL003"] * 4
+
+    def test_spawn_and_module_level_worker_clean(self):
+        src = """
+        import multiprocessing as mp
+
+        def _worker(cell):
+            return cell
+
+        def sweep(cells, opts=None, extra=()):
+            ctx = mp.get_context("spawn")
+            with ctx.Pool(2) as pool:
+                return pool.map(_worker, cells)
+        """
+        assert codes("spawnmod.py", src) == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 memmap hygiene
+# ---------------------------------------------------------------------------
+
+class TestRL004:
+    def test_copies_inside_loops_flagged(self):
+        src = """
+        import numpy as np
+        def stream(tiles):
+            out = 0
+            for tile in tiles:
+                a = np.array(tile)
+                b = tile.copy()
+                c = np.ascontiguousarray(tile)
+                out += a.sum() + b.sum() + c.sum()
+            return out
+        """
+        assert codes("memmapmod.py", src) == ["RL004"] * 3
+
+    def test_while_loop_covered_and_deduped(self):
+        src = """
+        import numpy as np
+        def stream(arr, n):
+            i = 0
+            while i < n:
+                for j in range(2):
+                    chunk = np.copy(arr[i:i + 4])
+                i += 4
+            return chunk
+        """
+        # nested loops must report the same call once
+        assert codes("memmapmod.py", src) == ["RL004"]
+
+    def test_copy_outside_loop_and_copy_module_clean(self):
+        src = """
+        import copy
+        import numpy as np
+        def stream(tiles, template):
+            base = np.array(template)
+            for tile in tiles:
+                meta = copy.copy(tile.meta)
+                base += tile[:4].sum() + len(meta)
+            return base
+        """
+        assert codes("memmapmod.py", src) == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 SoA dtype discipline
+# ---------------------------------------------------------------------------
+
+class TestRL005:
+    def test_bare_constructions_flagged(self):
+        src = """
+        import numpy as np
+        def build(n):
+            a = np.zeros(n)
+            b = np.arange(n)
+            c = np.full(n, 7)
+            return a, b, c
+        """
+        vs = lint("soamod.py", src)
+        assert [v.rule for v in vs] == ["RL005"] * 3
+        # zeros is mechanically fixable; arange/full infer, so hand-fix
+        assert [v.fixable for v in vs] == [True, False, False]
+
+    def test_fix_roundtrip_makes_default_explicit(self):
+        src = """
+        import numpy as np
+        def build(n):
+            return np.zeros(n), np.empty((n, 2))
+        """
+        fixed = fix_roundtrip("soamod.py", src)
+        assert "np.zeros(n, dtype=np.float64)" in fixed
+        assert "np.empty((n, 2), dtype=np.float64)" in fixed
+
+    def test_explicit_dtype_clean(self):
+        src = """
+        import numpy as np
+        def build(n):
+            a = np.zeros(n, dtype=np.int64)
+            b = np.arange(n, dtype=np.int64)
+            c = np.full((n, 4), -1, dtype=np.int32)
+            return a, b, c
+        """
+        assert codes("soamod.py", src) == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 no scalar loops in batched modules
+# ---------------------------------------------------------------------------
+
+class TestRL006:
+    def test_per_request_loop_and_while_flagged(self):
+        src = """
+        class Engine:
+            def run(self, addrs):
+                total = 0
+                for addr in addrs:
+                    total += addr
+                while total > 0:
+                    total -= 1
+                return total
+        """
+        assert codes("engine/batched.py", src) == ["RL006", "RL006"]
+
+    def test_structural_and_setup_loops_clean(self):
+        src = """
+        _COLS = ("a", "b")
+
+        class Engine:
+            STATE_ARRAYS = ("x", "y")
+
+            def __init__(self, reqs):
+                for r in reqs:
+                    self.push(r)
+
+            def seal(self, state):
+                for name in _COLS:
+                    pass
+                for name, arr in zip(self.STATE_ARRAYS, state):
+                    pass
+                for i in range(4):
+                    pass
+                return [x * 2 for x in state]
+        """
+        assert codes("engine/batched.py", src) == []
+
+    def test_scope_glob_only_batched_modules(self):
+        src = """
+        def run(addrs):
+            for addr in addrs:
+                pass
+        """
+        assert codes("engine/scalar.py", src) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions (RL007 discipline) and parse errors (RL000)
+# ---------------------------------------------------------------------------
+
+class TestSuppressions:
+    BAD = """
+    import numpy as np
+    def build(n):
+        return np.arange(n){comment}
+    """
+
+    def test_justified_inline_suppression(self):
+        src = self.BAD.format(
+            comment="  # repro-lint: disable=RL005 -- dtype set by caller"
+        )
+        assert codes("soamod.py", src) == []
+
+    def test_missing_justification_is_error_and_does_not_suppress(self):
+        src = self.BAD.format(comment="  # repro-lint: disable=RL005")
+        assert sorted(codes("soamod.py", src)) == [
+            "RL005", SUPPRESSION_DISCIPLINE
+        ]
+
+    def test_unknown_code_is_error(self):
+        src = self.BAD.format(
+            comment="  # repro-lint: disable=RL005,RL999 -- both of them"
+        )
+        # RL005 suppressed, RL999 reported as unknown
+        assert codes("soamod.py", src) == [SUPPRESSION_DISCIPLINE]
+
+    def test_unused_suppression_is_error(self):
+        src = """
+        import numpy as np
+        def build(n):
+            return np.arange(n, dtype=np.int64)  # repro-lint: disable=RL005 -- not needed
+        """
+        assert codes("soamod.py", src) == [SUPPRESSION_DISCIPLINE]
+
+    def test_unused_check_off_under_rule_subset(self):
+        src = textwrap.dedent("""
+        import numpy as np
+        def build(n):
+            return np.arange(n, dtype=np.int64)  # repro-lint: disable=RL005 -- not needed
+        """)
+        linter = make_linter(all_rules_selected=False)
+        assert linter.check_source("soamod.py", src) == []
+
+    def test_standalone_comment_covers_next_statement(self):
+        src = """
+        import numpy as np
+        def build(n):
+            # repro-lint: disable=RL005 -- fp accumulator, float64 intended
+            return np.arange(
+                n,
+            )
+        """
+        assert codes("soamod.py", src) == []
+
+    def test_suppression_text_in_docstring_ignored(self):
+        src = '''
+        def build(n):
+            """Quote: # repro-lint: disable=RL005 -- not a real comment."""
+            return n
+        '''
+        assert codes("soamod.py", src) == []
+
+    def test_parse_error_reported_as_rl000(self):
+        assert codes("soamod.py", "def f(:\n") == [PARSE_ERROR]
+
+
+# ---------------------------------------------------------------------------
+# CLI contract and --fix end to end
+# ---------------------------------------------------------------------------
+
+class TestCLI:
+    def test_unknown_select_code_exits_2(self, capsys):
+        rc = cli.main(["--select", "RL999", str(REPO_ROOT / "src")])
+        assert rc == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_missing_path_exits_2(self, capsys):
+        rc = cli.main([str(REPO_ROOT / "no-such-dir")])
+        assert rc == 2
+
+    def test_list_rules(self, capsys):
+        assert cli.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in SCOPES:
+            assert code in out
+
+    def test_json_report_on_violating_tree(self, tmp_path, capsys):
+        mod = tmp_path / "eng" / "batched.py"
+        mod.parent.mkdir()
+        mod.write_text(
+            "def run(addrs):\n    for a in addrs:\n        pass\n"
+        )
+        rc = cli.main(
+            ["--json", "--root", str(tmp_path), str(tmp_path)]
+        )
+        assert rc == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["counts_by_rule"] == {"RL006": 1}
+        assert report["violations"][0]["path"] == "eng/batched.py"
+
+    def test_fix_rewrites_file(self, tmp_path):
+        mod = tmp_path / "soamod.py"
+        mod.write_text(
+            "import numpy as np\n\ndef build(n):\n"
+            "    return np.zeros(n)\n"
+        )
+        linter = make_linter()
+        report = linter.run([("soamod.py", mod)], fix=True)
+        assert report.fixes_applied == 1
+        assert report.ok
+        assert "np.zeros(n, dtype=np.float64)" in mod.read_text()
+
+
+# ---------------------------------------------------------------------------
+# Meta-tests: the shipped tree itself
+# ---------------------------------------------------------------------------
+
+class TestShippedTree:
+    def test_tree_is_lint_clean(self):
+        report = run_paths(root=REPO_ROOT)
+        assert report.files_checked > 50
+        assert report.ok, "\n" + report.render()
+
+    def test_cli_clean_exit_matches(self, capsys):
+        rc = cli.main(["--root", str(REPO_ROOT),
+                       str(REPO_ROOT / "src"), str(REPO_ROOT / "tools")])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_mypy_strict_gate(self):
+        pytest.importorskip("mypy")
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "--config-file",
+             str(REPO_ROOT / "mypy.ini")],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -857,6 +857,23 @@ def main(argv=None) -> int:
                     else "[no-baseline]"
                 )
             )
+    # Record the static-gate status alongside the perf verdict so
+    # nightly artifacts carry it.  Informational here: the blocking
+    # `lint` CI job owns pass/fail, and a lint hiccup must never sink
+    # a perf measurement that already ran.
+    try:
+        from repro.lint import run_paths as _lint_run_paths
+
+        _lint = _lint_run_paths(
+            root=pathlib.Path(__file__).resolve().parent.parent
+        )
+        verdict["lint"] = {
+            "ok": _lint.ok,
+            "files_checked": _lint.files_checked,
+            "counts_by_rule": _lint.counts_by_rule(),
+        }
+    except Exception as exc:
+        verdict["lint"] = {"ok": None, "error": repr(exc)}
     if args.max_seconds is not None and total_best > args.max_seconds:
         verdict["ok"] = False
         verdict["failures"].append(

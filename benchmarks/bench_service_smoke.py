@@ -1,0 +1,139 @@
+"""Experiment-service smoke: miss -> hit -> concurrent duplicates.
+
+The service's contract properties (single-flight dedup, bit-identical
+cached records, failure/retry, backend parity) are pinned at unit
+level in ``tests/test_service.py``; this smoke drives the *real* stack
+in CI -- a stdlib ``ThreadingHTTPServer`` on a localhost ephemeral
+port, JSON over actual sockets, the background job pool, the on-disk
+checkpoint store -- so a regression that only bites with real HTTP
+(a route that stopped parsing, keep-alive breakage, a serialization
+that drops a field, a deadlock between the handler threads and the job
+pool) is caught under a wall-clock budget.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_smoke.py -q
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.runner import clear_result_cache
+from repro.service import ExperimentService, make_server
+
+#: generous CI budget for the whole drive (the toy cell simulates ~1 s)
+BUDGET_SECONDS = 120.0
+
+#: the smoke config: a fast toy cell
+CONFIG = {
+    "system": "Piccolo",
+    "algorithm": "PR",
+    "dataset": "UU",
+    "profile": "toy",
+    "max_iterations": 2,
+}
+
+
+@pytest.fixture()
+def service_url(tmp_path):
+    clear_result_cache()
+    service = ExperimentService(tmp_path / "store", max_workers=2)
+    server = make_server(service)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://{host}:{port}", service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        clear_result_cache()
+
+
+def _post(base, config):
+    request = urllib.request.Request(
+        f"{base}/experiments",
+        data=json.dumps(config).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(base, path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _wait_done(base, digest, deadline):
+    while True:
+        status, payload = _get(base, f"/experiments/{digest}")
+        assert status == 200, payload
+        if payload["status"] in ("done", "failed"):
+            return payload
+        assert time.perf_counter() < deadline, (
+            f"cell still {payload['status']} at budget"
+        )
+        time.sleep(0.05)
+
+
+def test_service_miss_hit_and_concurrent_duplicates(service_url, capsys):
+    base, service = service_url
+    start = time.perf_counter()
+    deadline = start + BUDGET_SECONDS
+
+    # -- miss: enqueued, completes, record is served -------------------
+    status, payload = _post(base, CONFIG)
+    assert status == 202 and payload["status"] == "queued", payload
+    digest = payload["digest"]
+    done = _wait_done(base, digest, deadline)
+    assert done["status"] == "done", done
+    assert done["result"]["total_ns"] > 0
+
+    # -- hit: same config, instant cached record, no re-run ------------
+    status, hit = _post(base, CONFIG)
+    assert status == 200 and hit["cached"], hit
+    assert hit["result"] == done["result"]
+    _status, stats = _get(base, "/cache/stats")
+    assert stats["cache"]["misses"] == 1
+    assert stats["store"]["records"] == 1
+
+    # -- concurrent duplicates of a NEW config run the cell once -------
+    other = dict(CONFIG, algorithm="BFS", max_iterations=None)
+    other.pop("max_iterations")
+    barrier = threading.Barrier(4)
+    responses = []
+
+    def fire():
+        barrier.wait()
+        responses.append(_post(base, other))
+
+    threads = [threading.Thread(target=fire) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    digests = {payload["digest"] for _, payload in responses}
+    assert len(digests) == 1, responses
+    _wait_done(base, digests.pop(), deadline)
+    _status, stats = _get(base, "/cache/stats")
+    # however the 4 POSTs interleaved with the run, exactly one new job
+    # was enqueued for the new digest (single-flight / cache)
+    assert stats["cache"]["misses"] == 2, stats
+    elapsed = time.perf_counter() - start
+    with capsys.disabled():
+        print(f"\nservice smoke: miss+hit+4 concurrent duplicates in "
+              f"{elapsed:.1f}s (budget {BUDGET_SECONDS:.0f}s)")
+    assert elapsed < BUDGET_SECONDS

@@ -28,6 +28,10 @@ Commands:
     protocol checkers (the FPGA-emulation substitute).
 ``datasets``
     Print the scaled dataset registry (Table II stand-ins).
+``serve [--host H] [--port P] [--store DIR] [--jobs N] [--backend B]``
+    Run the long-lived experiment service: POST experiment configs to
+    ``/experiments``, repeat requests are served from the
+    content-addressed result cache (see docs/SERVICE.md).
 
 The figure functions live in :mod:`repro.experiments.figures`; the CLI
 is a thin dispatcher so results match the pytest benches exactly.
@@ -212,6 +216,31 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ExperimentService
+    from repro.service.fastapi_app import fastapi_available, serve_fastapi
+    from repro.service.http import serve
+
+    backend = args.backend
+    if backend == "auto":
+        backend = "fastapi" if fastapi_available() else "stdlib"
+    service = ExperimentService(
+        args.store,
+        max_workers=args.jobs,
+        workers_per_job=args.job_workers,
+        trajectory_path=args.trajectory,
+    )
+    try:
+        if backend == "fastapi":
+            serve_fastapi(service, args.host, args.port)
+        else:
+            serve(service, args.host, args.port)
+    except RuntimeError as exc:  # missing optional backend deps
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -266,6 +295,40 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="scaled dataset registry").set_defaults(
         fn=_cmd_datasets
     )
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="long-lived experiment service with a content-addressed "
+        "result cache (see docs/SERVICE.md)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default: 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8321,
+                           help="bind port (default: 8321; 0 picks a "
+                           "free port on the stdlib backend)")
+    serve_cmd.add_argument("--store", default=".repro_service",
+                           metavar="DIR",
+                           help="content-addressed result store "
+                           "(checkpoint-store layout; point it at a "
+                           "sweep's --checkpoint-dir to serve its "
+                           "cells; default: .repro_service)")
+    serve_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="background simulation threads "
+                           "(default: 1)")
+    serve_cmd.add_argument("--job-workers", type=int, default=0,
+                           metavar="N",
+                           help="process-pool width per job via the "
+                           "sharded sweep runner (default: 0 = run "
+                           "in the job thread)")
+    serve_cmd.add_argument("--trajectory", default="BENCH_hotpath.json",
+                           metavar="PATH",
+                           help="trajectory JSON exposed at "
+                           "/trajectory (default: BENCH_hotpath.json)")
+    serve_cmd.add_argument("--backend", default="auto",
+                           choices=("auto", "stdlib", "fastapi"),
+                           help="HTTP backend: auto picks fastapi when "
+                           "installed, else the stdlib server "
+                           "(identical contract)")
+    serve_cmd.set_defaults(fn=_cmd_serve)
     return parser
 
 

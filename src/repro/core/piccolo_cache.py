@@ -74,7 +74,7 @@ class PiccoloCache(BatchedCacheEngine, BaseCache):
         line_bytes: line size (paper: 128 = 16 sectors x 8 B).
         sector_bytes: fine-grained granularity (paper: 8).
         fg_tag_bits: per-sector tag width (paper: 8).  Scaled-down
-            experiments use 4 so the window/tile ratios match (DESIGN.md).
+            experiments use 4 so the window/tile ratios match (docs/EXPERIMENTS.md).
         policy: ``"lru"`` or ``"rrip"``.
         addr_bits: modelled address width (tag accounting only).
     """

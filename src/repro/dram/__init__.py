@@ -1,7 +1,7 @@
 """DRAM substrate: device specs, address mapping, command-level timing.
 
 The model is an event/episode-driven *throughput* model at DRAM-command
-granularity (see DESIGN.md): per-bank row-episode service times honour
+granularity (see docs/ARCHITECTURE.md): per-bank row-episode service times honour
 tRCD/tRP/tRAS/tCCD/tWR, the shared data bus is charged per burst, and a
 phase's memory time is the binding resource (slowest bank vs. busiest
 channel bus).  This reproduces the quantities Piccolo's evaluation is

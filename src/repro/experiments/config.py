@@ -1,4 +1,4 @@
-"""Scaled experiment configuration (see DESIGN.md, "Scaling discipline").
+"""Scaled experiment configuration (see docs/EXPERIMENTS.md).
 
 Scale is a first-class, selectable dimension: every capacity-like knob
 lives in an :class:`ExperimentScale`, and three named profiles span the
@@ -122,7 +122,7 @@ class ExperimentScale:
     #: so a short run preserves every ratio; the paper caps at 40)
     max_iterations: dict = field(default_factory=_default_iterations)
     #: default tile scales (multiples of the perfect width) per system;
-    #: chosen by tuner sweeps (see EXPERIMENTS.md) to avoid re-tuning in
+    #: chosen by tuner sweeps (see docs/EXPERIMENTS.md) to avoid re-tuning in
     #: every benchmark run
     tile_scales: dict = field(default_factory=_default_tile_scales)
 

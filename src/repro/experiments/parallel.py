@@ -93,7 +93,32 @@ class SweepCheckpointStore:
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = pathlib.Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        # Fail here, loudly, rather than deep inside an npz read/write
+        # later: a root that collides with an existing file or sits
+        # under an unwritable/defunct parent is a caller mistake the
+        # error message should name.
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except FileExistsError as exc:
+            raise ValueError(
+                f"checkpoint directory {self.root} collides with an "
+                f"existing non-directory file"
+            ) from exc
+        except NotADirectoryError as exc:
+            raise ValueError(
+                f"checkpoint directory {self.root} has a non-directory "
+                f"ancestor; choose a path whose parents are directories"
+            ) from exc
+        except PermissionError as exc:
+            raise ValueError(
+                f"checkpoint directory {self.root} is not creatable: "
+                f"permission denied ({exc})"
+            ) from exc
+        if not os.access(self.root, os.W_OK | os.X_OK):
+            raise ValueError(
+                f"checkpoint directory {self.root} is not writable; "
+                f"records could not be committed there"
+            )
 
     def json_path(self, digest: str) -> pathlib.Path:
         return self.root / f"{digest}.json"
@@ -148,6 +173,11 @@ class SweepCheckpointStore:
         arrays.update(
             {f"dram__{k}": np.asarray(v) for k, v in dram.items()}
         )
+        if not self.root.is_dir():
+            raise ValueError(
+                f"checkpoint directory {self.root} disappeared after the "
+                f"store was opened; records cannot be committed"
+            )
         npz_tmp = self.npz_path(cell.digest).with_suffix(
             f".npz.tmp.{os.getpid()}"
         )

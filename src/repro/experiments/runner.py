@@ -99,6 +99,15 @@ def install_result(digest: str, result: SystemResult) -> None:
     _RESULT_CACHE.put(digest, result)
 
 
+def cached_result(digest: str) -> SystemResult | None:
+    """Memoised result for a cell digest, or None on a miss.
+
+    Public read side of the memo: the experiment service probes it
+    before touching the on-disk checkpoint store or enqueuing a run.
+    """
+    return _RESULT_CACHE.get(digest)
+
+
 # ---------------------------------------------------------------------------
 # Cell specification and resolution
 # ---------------------------------------------------------------------------
@@ -392,6 +401,7 @@ def geomean_speedups(
 
 __all__ = [
     "CellSpec",
+    "cached_result",
     "ResolvedCell",
     "resolve_cell",
     "run_resolved",

@@ -26,7 +26,7 @@ KN25..KN28  Kronecker, deg ~10,          RMAT at doubling scales
 
 Scaling discipline: the memory-system capacities in
 ``repro.experiments.config`` are scaled by the same factor, so the ratios
-that determine cache pressure match the paper (see DESIGN.md).
+that determine cache pressure match the paper (see docs/EXPERIMENTS.md).
 """
 
 from __future__ import annotations

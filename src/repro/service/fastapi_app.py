@@ -1,0 +1,94 @@
+"""Optional FastAPI transport for the experiment service.
+
+FastAPI is *not* a dependency of this repo: the factory imports it
+lazily and raises a clear error when it is missing, and the stdlib
+server (:mod:`repro.service.http`) serves the identical contract
+without it.  Both transports serialize the same
+``(status, payload)`` tuples from
+:class:`repro.service.core.ExperimentService`, so choosing a backend
+never changes a response body -- only the serving machinery (uvicorn's
+event loop + OpenAPI docs vs. a threading stdlib server).
+"""
+
+from __future__ import annotations
+
+from repro.service.core import ExperimentService
+
+
+def fastapi_available() -> bool:
+    """True when the optional FastAPI backend can be imported."""
+    try:
+        import fastapi  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def create_fastapi_app(service: ExperimentService):
+    """Build a FastAPI app over ``service`` (raises without fastapi).
+
+    Routes mirror the stdlib server exactly: ``POST /experiments``,
+    ``GET /experiments/{digest}``, ``GET /cache/stats``,
+    ``GET /trajectory``, ``GET /healthz``.
+    """
+    try:
+        from fastapi import Body, FastAPI
+        from fastapi.responses import JSONResponse
+    except ImportError as exc:
+        raise RuntimeError(
+            "the FastAPI backend needs the optional 'fastapi' package "
+            "(pip install fastapi uvicorn); the stdlib backend "
+            "(repro.service.http / `repro serve --backend stdlib`) "
+            "serves the same contract without it"
+        ) from exc
+
+    app = FastAPI(
+        title="repro experiment service",
+        description=(
+            "Content-addressed experiment cache over the Piccolo "
+            "reproduction's sweep runner; see docs/SERVICE.md"
+        ),
+    )
+
+    def _respond(status_payload: tuple[int, dict]) -> JSONResponse:
+        status, payload = status_payload
+        return JSONResponse(status_code=status, content=payload)
+
+    @app.post("/experiments")
+    def submit(config: dict = Body(...)) -> JSONResponse:
+        return _respond(service.submit(config))
+
+    @app.get("/experiments/{digest}")
+    def status(digest: str) -> JSONResponse:
+        return _respond(service.status(digest))
+
+    @app.get("/cache/stats")
+    def cache_stats() -> JSONResponse:
+        return _respond(service.cache_stats())
+
+    @app.get("/trajectory")
+    def trajectory(prefix: str | None = None) -> JSONResponse:
+        return _respond(service.trajectory(prefix))
+
+    @app.get("/healthz")
+    def health() -> JSONResponse:
+        return _respond(service.health())
+
+    return app
+
+
+def serve_fastapi(
+    service: ExperimentService, host: str, port: int
+) -> None:
+    """Run the FastAPI app under uvicorn (raises without uvicorn)."""
+    try:
+        import uvicorn
+    except ImportError as exc:
+        raise RuntimeError(
+            "the FastAPI backend needs 'uvicorn' to serve "
+            "(pip install uvicorn); use --backend stdlib instead"
+        ) from exc
+    uvicorn.run(create_fastapi_app(service), host=host, port=port)
+
+
+__all__ = ["create_fastapi_app", "fastapi_available", "serve_fastapi"]

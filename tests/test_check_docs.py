@@ -1,0 +1,78 @@
+"""The docs consistency gate (``tools/check_docs.py``)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docs import DEFAULT_DOCS, check_files  # noqa: E402
+
+
+class TestCheckFiles:
+    def test_clean_doc_passes(self, tmp_path):
+        target = tmp_path / "other.md"
+        target.write_text("# hi\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "See [other](other.md) and [web](https://example.com) "
+            "and [anchor](#section).\n"
+            "Run `python -m repro figure fig10`.\n"
+        )
+        assert check_files([doc], tmp_path) == []
+
+    def test_broken_link_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("See [ghost](DESIGN.md).\n")
+        problems = check_files([doc], tmp_path)
+        assert len(problems) == 1
+        assert "broken link -> DESIGN.md" in problems[0]
+
+    def test_links_inside_code_fences_are_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "```\n[illustrative](does-not-exist.md)\n```\n"
+        )
+        assert check_files([doc], tmp_path) == []
+
+    def test_unknown_cli_subcommand_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("Run `python -m repro frobnicate` daily.\n")
+        problems = check_files([doc], tmp_path)
+        assert len(problems) == 1
+        assert "frobnicate" in problems[0]
+
+    def test_cli_mentions_in_fences_are_checked_too(self, tmp_path):
+        # quickstarts live in code fences; a stale command there is
+        # exactly the rot this gate exists for
+        doc = tmp_path / "doc.md"
+        doc.write_text("```bash\npython -m repro boguscmd\n```\n")
+        problems = check_files([doc], tmp_path)
+        assert len(problems) == 1 and "boguscmd" in problems[0]
+
+    def test_link_anchor_suffix_is_stripped(self, tmp_path):
+        target = tmp_path / "other.md"
+        target.write_text("# hi\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("See [sec](other.md#section).\n")
+        assert check_files([doc], tmp_path) == []
+
+    def test_missing_checked_file_is_a_problem(self, tmp_path):
+        ghost = tmp_path / "absent.md"
+        problems = check_files([ghost], tmp_path)
+        assert len(problems) == 1 and "does not exist" in problems[0]
+
+
+class TestRepoDocs:
+    def test_the_repo_doc_set_is_clean(self):
+        paths = [REPO_ROOT / name for name in DEFAULT_DOCS]
+        assert check_files(paths, REPO_ROOT) == []
+
+    def test_cli_entry_point_exits_zero(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

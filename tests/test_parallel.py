@@ -229,6 +229,36 @@ class TestCheckpointStore:
         with pytest.raises(ValueError, match="undigestable"):
             store.save(cell, result, seconds=0.0, rss_mb=0.0)
 
+    def test_missing_directory_is_created(self, tmp_path):
+        root = tmp_path / "deep" / "nested" / "ckpt"
+        assert not root.exists()
+        store = parallel.SweepCheckpointStore(root)
+        assert root.is_dir()
+        assert len(store) == 0
+
+    def test_root_colliding_with_a_file_is_a_clear_error(self, tmp_path):
+        collision = tmp_path / "ckpt"
+        collision.write_text("I am not a directory")
+        with pytest.raises(ValueError, match="existing non-directory file"):
+            parallel.SweepCheckpointStore(collision)
+
+    def test_root_under_a_file_ancestor_is_a_clear_error(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("files cannot have children")
+        with pytest.raises(ValueError, match="non-directory ancestor"):
+            parallel.SweepCheckpointStore(blocker / "ckpt")
+
+    def test_directory_vanishing_after_open_is_a_clear_error(self, tmp_path):
+        import shutil
+
+        root = tmp_path / "ckpt"
+        store = parallel.SweepCheckpointStore(root)
+        cell = resolve_cell(_spec())
+        result = runner.run_resolved(cell)
+        shutil.rmtree(root)
+        with pytest.raises(ValueError, match="disappeared"):
+            store.save(cell, result, seconds=0.0, rss_mb=0.0)
+
 
 # ---------------------------------------------------------------------------
 # Parallel-vs-serial equivalence and resume

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Docs consistency gate: internal links resolve, CLI commands exist.
+
+Documentation rots in two characteristic ways in this repo: a markdown
+file links to a document that was renamed or never written (the
+``DESIGN.md`` ghost survived several PRs), and a quickstart names a
+``python -m repro <command>`` that the CLI no longer (or does not yet)
+ship.  Both failure modes are mechanical to detect, so CI does:
+
+- every relative markdown link ``[text](target)`` in the checked files
+  must point at a file that exists (anchors are stripped; ``http(s)``,
+  ``mailto`` and bare-anchor links are skipped);
+- every ``python -m repro <word>`` mentioned in the checked files must
+  be a registered subcommand of :func:`repro.cli.build_parser`.
+
+Run it locally with::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 means clean; 1 prints one line per problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: files checked by default, relative to the repo root
+DEFAULT_DOCS = (
+    "README.md",
+    "PERFORMANCE.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+    "docs/CACHE_ENGINES.md",
+    "docs/INVARIANTS.md",
+    "docs/SERVICE.md",
+    "docs/EXPERIMENTS.md",
+)
+
+#: ``[text](target)`` -- markdown inline links (images share the syntax)
+_LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+#: ``python -m repro <subcommand>`` mentions in prose or code fences
+_CLI_RE = re.compile(r"python\s+-m\s+repro\s+([a-z][a-z0-9-]*)")
+
+#: fenced code blocks -- links inside them are illustrative, not real
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _cli_subcommands() -> set[str]:
+    """The registered ``repro`` subcommand names, straight from argparse."""
+    from repro.cli import build_parser
+
+    commands: set[str] = set()
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            commands.update(action.choices)
+    return commands
+
+
+def _iter_links(text: str):
+    """Yield link targets outside fenced code blocks."""
+    prose = _FENCE_RE.sub("", text)
+    for match in _LINK_RE.finditer(prose):
+        yield match.group(1)
+
+
+def check_files(paths: list[Path], repo_root: Path) -> list[str]:
+    """Return a list of human-readable problems (empty when clean)."""
+    problems: list[str] = []
+    commands = _cli_subcommands()
+    for path in paths:
+        if not path.exists():
+            problems.append(f"{path}: checked file does not exist")
+            continue
+        text = path.read_text()
+        for target in _iter_links(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                rel = path.relative_to(repo_root)
+                problems.append(f"{rel}: broken link -> {target}")
+        for match in _CLI_RE.finditer(text):
+            command = match.group(1)
+            if command not in commands:
+                rel = path.relative_to(repo_root)
+                problems.append(
+                    f"{rel}: documents 'python -m repro {command}' but the "
+                    f"CLI has no such subcommand (has: {sorted(commands)})"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files", nargs="*",
+        help="markdown files to check (default: the repo's doc set)",
+    )
+    args = parser.parse_args(argv)
+    repo_root = Path(__file__).resolve().parent.parent
+    if args.files:
+        paths = [Path(name).resolve() for name in args.files]
+    else:
+        paths = [repo_root / name for name in DEFAULT_DOCS]
+    problems = check_files(paths, repo_root)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"docs check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs check: {len(paths)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

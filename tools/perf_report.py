@@ -66,6 +66,17 @@ gate these cells like any other; the per-cell anonymous peaks feed the
 RSS budget.  Single-shot timings (one child per cell); ``--repeats`` is
 ignored.
 
+``--service`` times the experiment service's cache-hit path
+(``service/...`` cells) instead of the memory-path grid: an
+in-process stdlib server (``repro.service``) is stood up on an
+ephemeral localhost port, one miss is simulated to warm the
+content-addressed store, and the recorded cell is the best observed
+wall-clock of a repeated identical ``POST /experiments`` -- request
+parse, digest canonicalization, cache lookup, and the full
+``SystemResult`` record over the wire, no re-simulation.  ``--check``
+gates it like any other cell (CI uses a wider ratio: localhost
+latency on shared runners jitters more than simulation wall-clock).
+
 ``--check`` turns the run into a CI perf-regression *gate*: every timed
 cell is compared against its most recent recorded batched-mode
 trajectory point, and the process exits non-zero if any cell is slower
@@ -189,6 +200,21 @@ PROFILE_CELLS = {
          {"_scale": "paper"}),
     ],
 }
+
+#: the ``--service`` cache-hit-latency suite: one warm toy cell behind
+#: the stdlib service backend; the cell name pins the config below
+SERVICE_CELLS = [
+    ("service/hit-latency/toy-pr3", "service", "PR", "TW", 3, {}),
+]
+SERVICE_CONFIG = {
+    "system": "Piccolo",
+    "algorithm": "PR",
+    "dataset": "TW",
+    "profile": "toy",
+    "max_iterations": 3,
+}
+#: identical POSTs timed per --repeats unit (best-of is recorded)
+SERVICE_REQUESTS_PER_REPEAT = 30
 
 #: the fixed ``--parallel`` worker-scaling sweep: the mid-profile
 #: Fig. 10 PR grid over the two fastest real-world datasets
@@ -374,6 +400,87 @@ def run_ooc_suite(cells, profile):
     return times, rss, detail
 
 
+def run_service_suite(repeats):
+    """Time the experiment service's cache-hit path over localhost.
+
+    Stands up the stdlib service backend on an ephemeral port, runs the
+    fixed toy config once (the miss that warms the content-addressed
+    store), then times ``repeats * SERVICE_REQUESTS_PER_REPEAT``
+    identical POSTs -- every one must come back as a cache hit carrying
+    the full result record.  Returns (times, detail): the best observed
+    hit latency per cell plus the sample distribution.
+    """
+    import http.client
+    import tempfile
+    import threading
+
+    from repro.service import ExperimentService, make_server
+
+    times, detail = {}, {}
+    (name, *_), = SERVICE_CELLS
+    body = json.dumps(SERVICE_CONFIG)
+    headers = {"Content-Type": "application/json"}
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as root:
+        service = ExperimentService(root)
+        server = make_server(service)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+
+            def post():
+                conn.request("POST", "/experiments", body=body,
+                             headers=headers)
+                response = conn.getresponse()
+                return response.status, json.loads(response.read())
+
+            _status, payload = post()
+            digest = payload["digest"]
+            deadline = time.monotonic() + 300
+            state = payload
+            while state.get("status") not in ("done", "failed"):
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"service miss did not finish in time: {state}"
+                    )
+                time.sleep(0.05)
+                conn.request("GET", f"/experiments/{digest}")
+                state = json.loads(conn.getresponse().read())
+            if state["status"] != "done":
+                raise RuntimeError(f"service warm-up run failed: {state}")
+            samples = []
+            for _ in range(max(1, repeats) * SERVICE_REQUESTS_PER_REPEAT):
+                start = time.perf_counter()
+                status, payload = post()
+                elapsed = time.perf_counter() - start
+                if status != 200 or not payload.get("cached"):
+                    raise RuntimeError(
+                        f"expected a cache hit, got {status}: {payload}"
+                    )
+                samples.append(elapsed)
+            conn.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+    samples.sort()
+    times[name] = round(samples[0], 6)
+    detail[name] = {
+        "requests": len(samples),
+        "best_s": round(samples[0], 6),
+        "median_s": round(samples[len(samples) // 2], 6),
+        "p90_s": round(samples[int(len(samples) * 0.9)], 6),
+        "miss_run_seconds": state.get("seconds"),
+        "config": dict(SERVICE_CONFIG),
+    }
+    print(f"  {name:38s} {times[name]:8.6f} s  "
+          f"(median {detail[name]['median_s']:.6f} s over "
+          f"{len(samples)} hits; miss ran "
+          f"{detail[name]['miss_run_seconds']} s)", flush=True)
+    return times, detail
+
+
 def time_parallel_sweep(worker_counts, repeats, graph_dir):
     """Wall-clock the fixed mid-profile sweep at each worker count."""
     specs = [
@@ -529,6 +636,13 @@ def main(argv=None) -> int:
         "per-cell peak anonymous RSS feeds --max-rss-mb)",
     )
     parser.add_argument(
+        "--service",
+        action="store_true",
+        help="time the experiment service's cache-hit path "
+        "(service/... cells) over an in-process localhost server "
+        "instead of the memory-path grid",
+    )
+    parser.add_argument(
         "--chunk-size",
         type=int,
         default=None,
@@ -630,6 +744,14 @@ def main(argv=None) -> int:
         parser.error("--ooc is its own suite; it does not combine with "
                      "--profile/--parallel/--workers/--resume-from/--quick/"
                      "--engine-xval/--scalar-baseline/--chunk-size")
+    if args.service and (args.profile or args.parallel or sharded
+                         or args.quick or args.engine_xval or args.ooc
+                         or args.scalar_baseline
+                         or args.chunk_size is not None):
+        parser.error("--service is its own suite; it does not combine "
+                     "with --profile/--parallel/--workers/--resume-from/"
+                     "--quick/--engine-xval/--ooc/--scalar-baseline/"
+                     "--chunk-size")
     try:
         worker_counts = [
             int(c) for c in args.worker_counts.split(",") if c
@@ -646,6 +768,8 @@ def main(argv=None) -> int:
         cells = engine_xval_cells(args.engine_xval)
     elif args.ooc:
         cells = ooc_cells(args.ooc)
+    elif args.service:
+        cells = list(SERVICE_CELLS)
     elif args.parallel:
         cells = []
     else:
@@ -671,6 +795,7 @@ def main(argv=None) -> int:
         "parallel" if args.parallel
         else f"{mode}-engine-xval-{args.engine_xval}" if args.engine_xval
         else f"ooc-{args.ooc}" if args.ooc
+        else "service" if args.service
         else f"{mode}-{args.profile}" if args.profile else mode
     )
 
@@ -703,6 +828,11 @@ def main(argv=None) -> int:
         print(f"perf_report: mode={mode} ooc profile={args.ooc} "
               f"cells={len(cells)} (spawned children; single-shot timings)")
         times, cell_rss, ooc_detail = run_ooc_suite(cells, args.ooc)
+    elif args.service:
+        print(f"perf_report: mode={mode} service cache-hit suite "
+              f"({args.repeats * SERVICE_REQUESTS_PER_REPEAT} hit "
+              f"requests over localhost)")
+        times, service_detail = run_service_suite(args.repeats)
     else:
         print(f"perf_report: mode={mode} repeats={args.repeats} "
               f"cells={len(cells)}")
@@ -737,6 +867,8 @@ def main(argv=None) -> int:
         point["ooc_profile"] = args.ooc
         point["cell_rss_mb"] = cell_rss
         point["ooc_cells"] = ooc_detail
+    if args.service:
+        point["service_cells"] = service_detail
     if sharded:
         point["workers"] = args.workers or 1
         if cell_rss:
